@@ -1,0 +1,36 @@
+// Ablation (DESIGN.md §5): store-buffer drain policy vs. Problem #2.
+// The lazy (weakly-ordered) drain is what creates the fence stall that
+// demotion hides; with an eager TSO-like drain the stores publish in the
+// background on their own and demotion buys almost nothing.
+#include <iostream>
+
+#include "bench/listings.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+using namespace prestore;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto iters = static_cast<uint32_t>(flags.GetInt("iters", 2000));
+
+  std::cout << "=== Ablation: store-buffer drain policy (Listing 2, 30 "
+               "reads, B-fast device) ===\n\n";
+
+  TextTable t({"drain_policy", "base_cycles", "demote_cycles", "improv_%"});
+  struct Drain {
+    const char* name;
+    StoreDrainPolicy policy;
+  };
+  for (auto& [name, policy] :
+       {Drain{"lazy (weak, ARM-like)", StoreDrainPolicy::kLazyWeak},
+        Drain{"eager (TSO, x86-like)", StoreDrainPolicy::kEagerTso}}) {
+    MachineConfig cfg = MachineBFast(1);
+    cfg.drain = policy;
+    const uint64_t base = RunListing2(cfg, false, 30, iters);
+    const uint64_t demote = RunListing2(cfg, true, 30, iters);
+    t.AddRow(name, base, demote, Improvement(base, demote));
+  }
+  t.Print(std::cout);
+  return 0;
+}

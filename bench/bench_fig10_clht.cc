@@ -1,0 +1,39 @@
+// Figure 10 (§7.2.3): CLHT under YCSB A on Machine A — throughput for
+// baseline / clean / skip across value sizes. Paper: skip up to 2.9x and
+// clean up to 2.3x over baseline; gains start once the value size exceeds
+// the CPU line (64B) and grow to the PMEM block size (256B) and beyond.
+#include <iostream>
+
+#include "bench/kv_bench.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+using namespace prestore;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto threads = static_cast<uint32_t>(flags.GetInt("threads", 8));
+  const auto ops = static_cast<uint32_t>(flags.GetInt("ops", 600));
+
+  std::cout << "=== Figure 10: CLHT, YCSB A, Machine A ===\n"
+            << "Requests per Mcycle (the paper reports requests/second; "
+               "shapes are comparable). Higher is better.\n\n";
+
+  TextTable t({"value_size", "baseline", "clean", "skip", "clean_x",
+               "skip_x"});
+  for (const uint32_t vs : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    const uint32_t n = vs >= 2048 ? ops / 2 : ops;
+    const auto base = RunKvBench(KvMachineA(), KvStoreKind::kClht, vs,
+                                 KvWritePolicy::kBaseline, threads, n);
+    const auto clean = RunKvBench(KvMachineA(), KvStoreKind::kClht, vs,
+                                  KvWritePolicy::kClean, threads, n);
+    const auto skip = RunKvBench(KvMachineA(), KvStoreKind::kClht, vs,
+                                 KvWritePolicy::kSkip, threads, n);
+    t.AddRow(vs, base.ThroughputPerMcycle(), clean.ThroughputPerMcycle(),
+             skip.ThroughputPerMcycle(),
+             clean.ThroughputPerMcycle() / base.ThroughputPerMcycle(),
+             skip.ThroughputPerMcycle() / base.ThroughputPerMcycle());
+  }
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 11 (§7.2.3): Masstree under YCSB A on Machine A. Paper: skip up to
+// 2.5x, clean up to 1.9x over baseline.
+#include <iostream>
+
+#include "bench/kv_bench.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+using namespace prestore;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto threads = static_cast<uint32_t>(flags.GetInt("threads", 8));
+  const auto ops = static_cast<uint32_t>(flags.GetInt("ops", 500));
+
+  std::cout << "=== Figure 11: Masstree, YCSB A, Machine A ===\n"
+            << "Requests per Mcycle. Higher is better.\n\n";
+
+  TextTable t({"value_size", "baseline", "clean", "skip", "clean_x",
+               "skip_x"});
+  for (const uint32_t vs : {64u, 256u, 1024u, 4096u}) {
+    const uint32_t n = vs >= 2048 ? ops / 2 : ops;
+    const auto base = RunKvBench(KvMachineA(), KvStoreKind::kMasstree, vs,
+                                 KvWritePolicy::kBaseline, threads, n);
+    const auto clean = RunKvBench(KvMachineA(), KvStoreKind::kMasstree, vs,
+                                  KvWritePolicy::kClean, threads, n);
+    const auto skip = RunKvBench(KvMachineA(), KvStoreKind::kMasstree, vs,
+                                 KvWritePolicy::kSkip, threads, n);
+    t.AddRow(vs, base.ThroughputPerMcycle(), clean.ThroughputPerMcycle(),
+             skip.ThroughputPerMcycle(),
+             clean.ThroughputPerMcycle() / base.ThroughputPerMcycle(),
+             skip.ThroughputPerMcycle() / base.ThroughputPerMcycle());
+  }
+  t.Print(std::cout);
+  return 0;
+}

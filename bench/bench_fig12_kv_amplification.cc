@@ -1,0 +1,37 @@
+// Figure 12 (§7.2.3): write amplification of CLHT executing YCSB A on
+// Machine A. Paper: baseline climbs to ~3.8x for >=256B values; clean and
+// skip hold ~1x (they eliminate amplification); with 128B values pre-storing
+// halves the amplification.
+#include <iostream>
+
+#include "bench/kv_bench.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+using namespace prestore;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto threads = static_cast<uint32_t>(flags.GetInt("threads", 8));
+  const auto ops = static_cast<uint32_t>(flags.GetInt("ops", 600));
+
+  std::cout << "=== Figure 12: CLHT YCSB-A write amplification, Machine A "
+               "===\n"
+            << "Lower is better; 4.0 is the PMEM ceiling (256B block / 64B "
+               "line).\n\n";
+
+  TextTable t({"value_size", "baseline", "clean", "skip"});
+  for (const uint32_t vs : {64u, 128u, 256u, 512u, 1024u, 4096u}) {
+    const uint32_t n = vs >= 2048 ? ops / 2 : ops;
+    const auto base = RunKvBench(KvMachineA(), KvStoreKind::kClht, vs,
+                                 KvWritePolicy::kBaseline, threads, n);
+    const auto clean = RunKvBench(KvMachineA(), KvStoreKind::kClht, vs,
+                                  KvWritePolicy::kClean, threads, n);
+    const auto skip = RunKvBench(KvMachineA(), KvStoreKind::kClht, vs,
+                                 KvWritePolicy::kSkip, threads, n);
+    t.AddRow(vs, base.write_amplification, clean.write_amplification,
+             skip.write_amplification);
+  }
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// §7.4.2: manual pre-store placements that DirtBuster does NOT recommend.
+//  - FT fftz2: cleaning the small rewritten FFT scratch -> large slowdown
+//    (paper: 3x).
+//  - IS rank: pre-storing the random scatter -> no effect either way.
+#include <iostream>
+
+#include "src/nas/ft.h"
+#include "src/nas/nas_common.h"
+#include "src/sim/harness.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+using namespace prestore;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  (void)flags;
+
+  std::cout << "=== §7.4.2: incorrect manual pre-store placements ===\n\n";
+
+  TextTable t({"experiment", "base_cycles", "patched_cycles", "ratio",
+               "paper"});
+  {
+    Machine m1(MachineA(1));
+    Machine m2(MachineA(1));
+    FtKernel base(m1, NasPrestore::kOff, 1, FtPatch::kNone);
+    FtKernel misuse(m2, NasPrestore::kOff, 1, FtPatch::kFftz2Clean);
+    const uint64_t b = RunOnCore(m1, [&](Core& c) { base.Run(c); });
+    const uint64_t p = RunOnCore(m2, [&](Core& c) { misuse.Run(c); });
+    t.AddRow("FT: clean in fftz2 (rewritten scratch)", b, p,
+             static_cast<double>(p) / b, "3x slowdown");
+  }
+  {
+    Machine m1(MachineA(1));
+    Machine m2(MachineA(1));
+    auto base = MakeNasKernel("is", m1, NasPrestore::kOff);
+    auto patched = MakeNasKernel("is", m2, NasPrestore::kOn);
+    const uint64_t b = RunOnCore(m1, [&](Core& c) { base->Run(c); });
+    const uint64_t p = RunOnCore(m2, [&](Core& c) { patched->Run(c); });
+    t.AddRow("IS: clean in rank (random scatter)", b, p,
+             static_cast<double>(p) / b, "no effect");
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nDirtBuster recommends neither placement: it sees the "
+               "fftz2 scratch's short re-write distance and the rank "
+               "scatter's lack of sequentiality (see "
+               "bench_table2_classification).\n";
+  return 0;
+}

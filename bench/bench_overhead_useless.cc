@@ -1,0 +1,59 @@
+// §7.4.1: pre-stores suggested by DirtBuster, executed on an architecture
+// that does not benefit (Machine B: same cache-line and memory-unit size,
+// no fences in NAS / TensorFlow). Paper: no gain, but overhead <= 0.3%.
+#include <iostream>
+
+#include "src/nas/nas_common.h"
+#include "src/sim/harness.h"
+#include "src/tensor/training.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+using namespace prestore;
+
+namespace {
+
+uint64_t RunNas(const std::string& name, NasPrestore mode) {
+  Machine machine(NasBenchMachineBFast());
+  auto kernel = MakeNasKernel(name, machine, mode);
+  return RunOnCore(machine, [&](Core& core) { kernel->Run(core); });
+}
+
+uint64_t RunTf(TensorWritePolicy policy) {
+  MachineConfig cfg_b = NasBenchMachineBFast();
+  cfg_b.llc.size_bytes = 512 << 10;  // same proportions as the fig7 machine
+  Machine machine(cfg_b);
+  TrainingConfig cfg;
+  cfg.batch_size = 8;
+  cfg.policy = policy;
+  CnnTrainingProxy proxy(machine, cfg);
+  proxy.Step(machine.core(0));
+  return RunOnCore(machine, [&](Core& core) { proxy.Step(core); });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  (void)flags;
+
+  std::cout << "=== §7.4.1: pre-store overhead where they cannot help "
+               "(Machine B) ===\n"
+            << "Paper: maximum overhead 0.3% across NAS and TensorFlow.\n\n";
+
+  TextTable t({"workload", "base_cycles", "prestore_cycles", "overhead_%"});
+  for (const char* name : {"mg", "ft", "sp", "bt", "ua"}) {
+    const uint64_t base = RunNas(name, NasPrestore::kOff);
+    const uint64_t on = RunNas(name, NasPrestore::kOn);
+    t.AddRow(std::string("NAS ") + name, base, on,
+             (static_cast<double>(on) / base - 1.0) * 100.0);
+  }
+  {
+    const uint64_t base = RunTf(TensorWritePolicy::kBaseline);
+    const uint64_t clean = RunTf(TensorWritePolicy::kClean);
+    t.AddRow("TensorFlow (proxy)", base, clean,
+             (static_cast<double>(clean) / base - 1.0) * 100.0);
+  }
+  t.Print(std::cout);
+  return 0;
+}

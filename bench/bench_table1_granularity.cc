@@ -1,0 +1,34 @@
+// Table 1: devices internally read and write at different granularities.
+// Prints the configured granularities of the simulated machines alongside
+// the paper's hardware values.
+#include <iostream>
+
+#include "src/sim/machine.h"
+#include "src/util/table.h"
+
+using namespace prestore;
+
+int main() {
+  std::cout << "=== Table 1: internal read/write granularities ===\n"
+            << "(paper values vs. the values this simulator is configured "
+               "with)\n\n";
+  const MachineConfig a = MachineA();
+  const MachineConfig bf = MachineBFast();
+
+  TextTable t({"Device", "Paper", "Simulated"});
+  t.AddRow("Intel CPU (Machine A cache line)", "64B",
+           std::to_string(a.line_size) + "B");
+  t.AddRow("ThunderX ARM CPU (Machine B cache line)", "128B",
+           std::to_string(bf.line_size) + "B");
+  t.AddRow("Optane PMEM internal block", "256B",
+           std::to_string(a.target.internal_block_size) + "B");
+  t.AddRow("CXL SSD internal block (current tech)", "256B/512B",
+           "256B (PMEM model reused)");
+  t.Print(std::cout);
+
+  std::cout << "\nDerived consequence (§4.1): a scattered 64B writeback can "
+               "cost up to "
+            << a.target.internal_block_size / a.line_size
+            << "x write amplification on the Machine A PMEM.\n";
+  return 0;
+}

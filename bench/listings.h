@@ -1,0 +1,108 @@
+// Shared implementations of the paper's microbenchmarks (Listings 1-3),
+// reused by the figure benches and the ablation benches.
+#ifndef BENCH_LISTINGS_H_
+#define BENCH_LISTINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/harness.h"
+#include "src/sim/machine.h"
+#include "src/util/rng.h"
+
+namespace prestore {
+
+// Listing 1 (§4.1): threads write random elements of an array, optionally
+// clean them, then re-read one field to compute a sum.
+struct Listing1Result {
+  uint64_t cycles = 0;
+  double amplification = 1.0;
+};
+
+inline Listing1Result RunListing1(MachineConfig cfg, uint32_t threads,
+                                  uint32_t elt_size, bool clean,
+                                  uint32_t iters_per_thread,
+                                  uint64_t working_set_bytes = 64ULL << 20) {
+  cfg.num_cores = threads;
+  Machine machine(cfg);
+  const uint64_t nb_elements = working_set_bytes / elt_size;
+  const SimAddr elts = machine.Alloc(nb_elements * elt_size);
+  std::vector<uint8_t> payload(elt_size, 0x7f);
+
+  machine.ResetStats();
+  const uint64_t cycles =
+      RunParallel(machine, threads, [&](Core& core, uint32_t tid) {
+        Xoshiro256 rng(1000 + tid);
+        uint64_t total = 0;
+        for (uint32_t i = 0; i < iters_per_thread; ++i) {
+          const uint64_t idx = rng.Below(nb_elements);
+          const SimAddr e = elts + idx * elt_size;
+          core.MemCopyToSim(e, payload.data(), elt_size);
+          if (clean) {
+            core.Prestore(e, elt_size, PrestoreOp::kClean);
+          }
+          total += core.LoadU64(e);
+        }
+        (void)total;
+      });
+  machine.FlushAll();
+  return Listing1Result{cycles,
+                        machine.target().Stats().WriteAmplification()};
+}
+
+// Listing 2 (§4.2): write one line, optionally demote it, perform n reads
+// that hit the L1, then fence. Returns total simulated cycles.
+inline uint64_t RunListing2(const MachineConfig& cfg, bool demote,
+                            uint32_t n_reads, uint32_t iters) {
+  Machine machine(cfg);
+  const uint64_t line = cfg.line_size;
+  const uint64_t num_elements = 4096;
+  const SimAddr array = machine.Alloc(num_elements * line, Region::kTarget);
+  const SimAddr l1_data = machine.Alloc(64 * line, Region::kDram);
+  std::vector<uint8_t> payload(line, 0x3c);
+
+  Core& warm = machine.core(0);
+  for (uint32_t i = 0; i < 64; ++i) {
+    warm.LoadU64(l1_data + i * line);
+  }
+
+  return RunOnCore(machine, [&](Core& core) {
+    Xoshiro256 rng(7);
+    for (uint32_t it = 0; it < iters; ++it) {
+      const uint64_t idx = rng.Below(num_elements);
+      core.MemCopyToSim(array + idx * line, payload.data(), line);
+      if (demote) {
+        core.Prestore(array + idx * line, line, PrestoreOp::kDemote);
+      }
+      for (uint32_t i = 0; i < n_reads; ++i) {
+        core.LoadU64(l1_data + (i % 64) * line);
+      }
+      core.Fence();
+    }
+  });
+}
+
+// Listing 3 (§5): constantly rewrite (and optionally clean) one line.
+inline uint64_t RunListing3(const MachineConfig& cfg, bool clean,
+                            uint32_t iters) {
+  Machine machine(cfg);
+  const SimAddr line = machine.Alloc(cfg.line_size);
+  std::vector<uint8_t> payload(cfg.line_size, 1);
+  return RunOnCore(machine, [&](Core& core) {
+    for (uint32_t i = 0; i < iters; ++i) {
+      core.MemCopyToSim(line, payload.data(), payload.size());
+      if (clean) {
+        core.Prestore(line, payload.size(), PrestoreOp::kClean);
+      }
+    }
+  });
+}
+
+inline double Improvement(uint64_t baseline, uint64_t better) {
+  return (static_cast<double>(baseline) / static_cast<double>(better) - 1.0) *
+         100.0;
+}
+
+}  // namespace prestore
+
+#endif  // BENCH_LISTINGS_H_

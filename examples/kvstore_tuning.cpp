@@ -1,0 +1,66 @@
+// Example: tuning a key-value store's PUT path with pre-stores.
+//
+// Reproduces the §7.2.3 decision in miniature: run YCSB A against the
+// CLHT-like store on Machine A with the three value-write policies and
+// print the throughput / write-amplification trade-off.
+//
+// Build & run:  ./build/examples/kvstore_tuning [--value_size=1024]
+#include <cstdio>
+
+#include "src/kv/clht.h"
+#include "src/kv/ycsb.h"
+#include "src/util/cli.h"
+
+using namespace prestore;
+
+namespace {
+
+YcsbResult Run(uint32_t value_size, KvWritePolicy policy) {
+  MachineConfig cfg = MachineA(4);
+  Machine machine(cfg);
+  ClhtMap store(machine, 16384);
+  YcsbConfig ycsb;
+  ycsb.num_keys = (24ULL << 20) / value_size;
+  ycsb.value_size = value_size;
+  ycsb.threads = 4;
+  ycsb.ops_per_thread = 800;
+  ycsb.policy = policy;
+  YcsbLoad(machine, store, ycsb);
+  return YcsbRun(machine, store, ycsb);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto value_size =
+      static_cast<uint32_t>(flags.GetInt("value_size", 1024));
+
+  std::printf("CLHT + YCSB A on Machine A, %uB values, 4 threads\n\n",
+              value_size);
+  std::printf("%-10s %14s %16s\n", "policy", "req/Mcycle", "write-amp");
+
+  struct Variant {
+    const char* name;
+    KvWritePolicy policy;
+  };
+  double baseline = 0.0;
+  for (const Variant v : {Variant{"baseline", KvWritePolicy::kBaseline},
+                          Variant{"clean", KvWritePolicy::kClean},
+                          Variant{"skip", KvWritePolicy::kSkip}}) {
+    const YcsbResult r = Run(value_size, v.policy);
+    if (v.policy == KvWritePolicy::kBaseline) {
+      baseline = r.ThroughputPerMcycle();
+    }
+    std::printf("%-10s %14.1f %15.2fx   (%.2fx vs baseline)\n", v.name,
+                r.ThroughputPerMcycle(), r.write_amplification,
+                r.ThroughputPerMcycle() / baseline);
+  }
+
+  std::printf(
+      "\nGuidance (§7.2.3): values are crafted sequentially, rarely re-read\n"
+      "and published behind a lock CAS -> skip is fastest but requires\n"
+      "rewriting craftValue with non-temporal stores; clean is one added\n"
+      "line (Listing 6) and captures most of the benefit.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the pre-store API in five minutes.
+//
+//  1. Build a simulated machine (Machine A: x86 + Optane-like PMEM).
+//  2. Write data, observe write amplification from random evictions.
+//  3. Add a clean pre-store and watch the amplification disappear.
+//  4. Issue REAL pre-store instructions on the host CPU (hw backend).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "src/hw/hw_prestore.h"
+#include "src/sim/harness.h"
+#include "src/sim/machine.h"
+#include "src/util/rng.h"
+
+using namespace prestore;
+
+int main() {
+  std::printf("== 1. A simulated Machine A (64B lines over 256B-block PMEM)\n");
+  constexpr uint32_t kEltSize = 1024;
+  constexpr uint32_t kIters = 4000;
+
+  auto run = [&](bool clean) {
+    Machine machine(MachineA(2));
+    const uint64_t n = (48ULL << 20) / kEltSize;
+    const SimAddr elts = machine.Alloc(n * kEltSize);
+    std::vector<uint8_t> payload(kEltSize, 0x42);
+    machine.ResetStats();
+    const uint64_t cycles =
+        RunParallel(machine, 2, [&](Core& core, uint32_t tid) {
+          Xoshiro256 rng(tid + 1);
+          for (uint32_t i = 0; i < kIters; ++i) {
+            const SimAddr e = elts + rng.Below(n) * kEltSize;
+            core.MemCopyToSim(e, payload.data(), kEltSize);
+            if (clean) {
+              // THE pre-store: non-blocking, keeps the data cached, writes
+              // the dirty lines back to memory in the background.
+              core.Prestore(e, kEltSize, PrestoreOp::kClean);
+            }
+          }
+        });
+    machine.FlushAll();
+    return std::pair<uint64_t, double>(
+        cycles, machine.target().Stats().WriteAmplification());
+  };
+
+  const auto [base_cycles, base_amp] = run(false);
+  std::printf("   baseline:   %8llu cycles, write amplification %.2fx\n",
+              static_cast<unsigned long long>(base_cycles), base_amp);
+
+  std::printf("== 2. Same writes with a clean pre-store after each element\n");
+  const auto [clean_cycles, clean_amp] = run(true);
+  std::printf("   pre-store:  %8llu cycles, write amplification %.2fx "
+              "(%.2fx faster)\n",
+              static_cast<unsigned long long>(clean_cycles), clean_amp,
+              static_cast<double>(base_cycles) / clean_cycles);
+
+  std::printf("== 3. Real hardware pre-stores on this CPU\n");
+  const HwFeatures& hw = DetectHwFeatures();
+  std::printf("   cache line %uB, clwb:%s clflushopt:%s cldemote:%s\n",
+              hw.cache_line_size, hw.has_clwb ? "yes" : "no",
+              hw.has_clflushopt ? "yes" : "no",
+              hw.has_cldemote ? "yes" : "no");
+  std::vector<uint64_t> host_data(4096, 7);
+  HwPrestore(host_data.data(), host_data.size() * 8, PrestoreOp::kClean);
+  HwPrestore(host_data.data(), host_data.size() * 8, PrestoreOp::kDemote);
+  HwStoreFence();
+  std::printf("   issued %zu bytes of clean+demote pre-stores, data intact: "
+              "%s\n",
+              host_data.size() * 8, host_data[123] == 7 ? "yes" : "NO");
+  return 0;
+}

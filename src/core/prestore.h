@@ -1,0 +1,83 @@
+// Public vocabulary of the pre-store library.
+//
+// A *pre-store* is the converse of a pre-fetch: an asynchronous, non-blocking
+// hint that moves data DOWN the memory hierarchy (paper §2). Two operations
+// exist; both keep the data cached:
+//
+//   kDemote — move the line down the cache hierarchy (private CPU buffers →
+//             cache, or L1 → last-level cache). Maps to x86 `cldemote` and
+//             ARM `dc cvau` (clean to point of unification).
+//   kClean  — write the dirty line back to memory while keeping it cached.
+//             Maps to x86 `clwb` and ARM `dc cvac` (clean to point of
+//             coherency).
+//
+// A third technique, *skipping* the cache with non-temporal stores, is not an
+// op of prestore() because it requires restructuring the stores themselves
+// (paper §2); backends expose it separately (see StoreNonTemporal).
+#ifndef SRC_CORE_PRESTORE_H_
+#define SRC_CORE_PRESTORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace prestore {
+
+enum class PrestoreOp : uint8_t {
+  kDemote,
+  kClean,
+};
+
+// What DirtBuster (or a developer) decides to do with a written region.
+// kSkip means "use non-temporal stores"; kNone means "leave the code alone"
+// (e.g. the region is re-written soon, the Listing-3 trap).
+enum class Advice : uint8_t {
+  kNone,
+  kDemote,
+  kClean,
+  kSkip,
+};
+
+constexpr std::string_view ToString(PrestoreOp op) {
+  switch (op) {
+    case PrestoreOp::kDemote:
+      return "demote";
+    case PrestoreOp::kClean:
+      return "clean";
+  }
+  return "?";
+}
+
+constexpr std::string_view ToString(Advice a) {
+  switch (a) {
+    case Advice::kNone:
+      return "none";
+    case Advice::kDemote:
+      return "demote";
+    case Advice::kClean:
+      return "clean";
+    case Advice::kSkip:
+      return "skip";
+  }
+  return "?";
+}
+
+// Rounds `addr` down to the start of its cache line.
+constexpr uint64_t LineBase(uint64_t addr, uint64_t line_size) {
+  return addr & ~(line_size - 1);
+}
+
+// Number of cache lines covered by [addr, addr+size).
+constexpr uint64_t LinesCovered(uint64_t addr, size_t size,
+                                uint64_t line_size) {
+  if (size == 0) {
+    return 0;
+  }
+  const uint64_t first = LineBase(addr, line_size);
+  const uint64_t last = LineBase(addr + size - 1, line_size);
+  return (last - first) / line_size + 1;
+}
+
+}  // namespace prestore
+
+#endif  // SRC_CORE_PRESTORE_H_

@@ -1,0 +1,186 @@
+// In-memory B-tree keyed by uint64_t, used by DirtBuster's distance tracker
+// (§6.2.3: "The information is currently stored in a B-Tree").
+//
+// A straightforward top-down B-tree: fixed order, sorted keys per node,
+// split-on-full during descent. Values must be default-constructible.
+#ifndef SRC_DIRTBUSTER_BTREE_H_
+#define SRC_DIRTBUSTER_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace prestore {
+
+template <typename V, int Order = 16>
+class BTreeMap {
+  static_assert(Order >= 4 && Order % 2 == 0, "Order must be even and >= 4");
+
+ public:
+  using Key = uint64_t;
+
+  BTreeMap() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Returns the value for `key`, inserting a default-constructed one first
+  // if absent.
+  V& operator[](Key key) {
+    if (root_->count == kMaxKeys) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->children[0] = std::move(root_);
+      SplitChild(new_root.get(), 0);
+      root_ = std::move(new_root);
+    }
+    return InsertNonFull(root_.get(), key);
+  }
+
+  V* Find(Key key) {
+    Node* node = root_.get();
+    while (true) {
+      const int i = LowerBound(node, key);
+      if (i < node->count && node->keys[i] == key) {
+        return &node->values[i];
+      }
+      if (node->leaf) {
+        return nullptr;
+      }
+      node = node->children[i].get();
+    }
+  }
+
+  const V* Find(Key key) const {
+    return const_cast<BTreeMap*>(this)->Find(key);
+  }
+
+  bool Contains(Key key) const { return Find(key) != nullptr; }
+
+  // In-order traversal.
+  void ForEach(const std::function<void(Key, const V&)>& fn) const {
+    ForEachNode(root_.get(), fn);
+  }
+
+  // Depth of the tree (1 = a single leaf). Exposed for tests: B-tree height
+  // must stay logarithmic in size.
+  int Height() const {
+    int h = 1;
+    const Node* node = root_.get();
+    while (!node->leaf) {
+      node = node->children[0].get();
+      ++h;
+    }
+    return h;
+  }
+
+ private:
+  static constexpr int kMaxKeys = Order - 1;
+  static constexpr int kMinKeys = Order / 2 - 1;
+
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    int count = 0;
+    Key keys[kMaxKeys];
+    V values[kMaxKeys];
+    std::unique_ptr<Node> children[Order];
+  };
+
+  // Index of the first key >= `key`.
+  static int LowerBound(const Node* node, Key key) {
+    int lo = 0;
+    int hi = node->count;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (node->keys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Splits full child `i` of `parent` (parent must not be full).
+  void SplitChild(Node* parent, int i) {
+    Node* child = parent->children[i].get();
+    auto right = std::make_unique<Node>(child->leaf);
+    const int mid = kMaxKeys / 2;
+
+    right->count = kMaxKeys - mid - 1;
+    for (int j = 0; j < right->count; ++j) {
+      right->keys[j] = child->keys[mid + 1 + j];
+      right->values[j] = std::move(child->values[mid + 1 + j]);
+    }
+    if (!child->leaf) {
+      for (int j = 0; j <= right->count; ++j) {
+        right->children[j] = std::move(child->children[mid + 1 + j]);
+      }
+    }
+
+    for (int j = parent->count; j > i; --j) {
+      parent->keys[j] = parent->keys[j - 1];
+      parent->values[j] = std::move(parent->values[j - 1]);
+    }
+    for (int j = parent->count + 1; j > i + 1; --j) {
+      parent->children[j] = std::move(parent->children[j - 1]);
+    }
+    parent->keys[i] = child->keys[mid];
+    parent->values[i] = std::move(child->values[mid]);
+    parent->children[i + 1] = std::move(right);
+    child->count = mid;
+    ++parent->count;
+  }
+
+  V& InsertNonFull(Node* node, Key key) {
+    while (true) {
+      int i = LowerBound(node, key);
+      if (i < node->count && node->keys[i] == key) {
+        return node->values[i];
+      }
+      if (node->leaf) {
+        for (int j = node->count; j > i; --j) {
+          node->keys[j] = node->keys[j - 1];
+          node->values[j] = std::move(node->values[j - 1]);
+        }
+        node->keys[i] = key;
+        node->values[i] = V{};
+        ++node->count;
+        ++size_;
+        return node->values[i];
+      }
+      if (node->children[i]->count == kMaxKeys) {
+        SplitChild(node, i);
+        if (key == node->keys[i]) {
+          return node->values[i];
+        }
+        if (key > node->keys[i]) {
+          ++i;
+        }
+      }
+      node = node->children[i].get();
+    }
+  }
+
+  void ForEachNode(const Node* node,
+                   const std::function<void(Key, const V&)>& fn) const {
+    for (int i = 0; i < node->count; ++i) {
+      if (!node->leaf) {
+        ForEachNode(node->children[i].get(), fn);
+      }
+      fn(node->keys[i], node->values[i]);
+    }
+    if (!node->leaf) {
+      ForEachNode(node->children[node->count].get(), fn);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_DIRTBUSTER_BTREE_H_

@@ -1,0 +1,42 @@
+// DirtBuster step 3 recommendation logic (§6.2.3 "Guiding developers").
+#ifndef SRC_DIRTBUSTER_RECOMMEND_H_
+#define SRC_DIRTBUSTER_RECOMMEND_H_
+
+#include "src/core/prestore.h"
+#include "src/dirtbuster/analyzer.h"
+
+namespace prestore {
+
+struct AdviceThresholds {
+  // A size class counts as "re-read / re-written soon" below these distances
+  // (in instructions).
+  uint64_t reread_near = 100000;
+  uint64_t rewrite_near = 100000;
+  // A function counts as "writes before fence" when at least this fraction
+  // of its writes has a fence within fence_near_instructions.
+  double fence_fraction = 0.30;
+  // A function counts as "sequential writer" above this fraction.
+  double seq_fraction = 0.25;
+  // Size classes below this write share are ignored for the decision.
+  double significant_class_share = 0.05;
+};
+
+// Per-size-class advice, following the paper's rules:
+//   re-written soon            -> demote (publish early, keep for re-writes)
+//   re-read soon               -> clean  (write back early, keep for re-reads)
+//   neither                    -> skip   (non-temporal stores)
+// A class that is re-written almost immediately and not fence-bound gets
+// kNone (the Listing-3 trap).
+Advice AdviseClass(const SizeClassReport& cls, bool fence_bound,
+                   const AdviceThresholds& t);
+
+// Whole-function advice: kNone unless the function writes sequentially or
+// writes before fences (§6.2.2); otherwise the dominant classes decide.
+// A single significant re-read-soon class forces kClean over kSkip (the
+// TensorFlow case in §7.2.1).
+Advice AdviseFunction(const FunctionAnalysis& analysis,
+                      const AdviceThresholds& t);
+
+}  // namespace prestore
+
+#endif  // SRC_DIRTBUSTER_RECOMMEND_H_

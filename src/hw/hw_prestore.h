@@ -1,0 +1,56 @@
+// Hardware backend: issues REAL pre-store instructions on the host CPU.
+//
+// This is the paper's `prestore()` implemented exactly as §2 describes:
+//   demote → x86 `cldemote`          / ARM `dc cvau`
+//   clean  → x86 `clwb` (fallback `clflushopt`) / ARM `dc cvac`
+//
+// Feature support is detected at runtime (CPUID on x86, unconditional on
+// AArch64 where DC CVAC/CVAU are always available to EL0 unless trapped).
+// When an instruction is unavailable the call degrades to the closest safe
+// behaviour (cldemote → no-op, as on real pre-Tremont CPUs where the opcode
+// is a NOP; clwb → clflushopt → nothing).
+//
+// All experiments in this repository run against the simulator backend
+// (src/sim) because the hardware the paper measures (Optane PMEM, Enzian
+// CPU+FPGA) is not present; this backend exists to demonstrate that the
+// primitive is directly implementable and to let users apply it on capable
+// machines.
+#ifndef SRC_HW_HW_PRESTORE_H_
+#define SRC_HW_HW_PRESTORE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/prestore.h"
+
+namespace prestore {
+
+struct HwFeatures {
+  bool has_clwb = false;
+  bool has_clflushopt = false;
+  bool has_cldemote = false;
+  bool has_nt_stores = false;  // SSE2 movnti / AArch64 STNP
+  uint32_t cache_line_size = 64;
+};
+
+// Detects the host CPU's pre-store capabilities. Cached after the first call.
+const HwFeatures& DetectHwFeatures();
+
+// Issues pre-store instructions for every cache line in [location,
+// location+size). Non-blocking: returns as soon as the instructions are
+// issued, exactly like the paper's prestore(). Safe to call on any mapped
+// address; degrades to a no-op when the CPU lacks support.
+void HwPrestore(const void* location, size_t size, PrestoreOp op);
+
+// Issues a store fence that orders preceding clean pre-stores (sfence on x86,
+// dmb ish on ARM). Needed only when the caller requires completion ordering,
+// e.g. persistence; plain performance uses never call this.
+void HwStoreFence();
+
+// Non-temporal (cache-skipping) copy of `size` bytes. Falls back to memcpy
+// when the CPU has no non-temporal stores. `dst` must be 8-byte aligned.
+void HwStoreNonTemporal(void* dst, const void* src, size_t size);
+
+}  // namespace prestore
+
+#endif  // SRC_HW_HW_PRESTORE_H_

@@ -1,0 +1,100 @@
+// Common key-value store interface + value crafting (paper §7.2.3, §7.3.1).
+#ifndef SRC_KV_KVSTORE_H_
+#define SRC_KV_KVSTORE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "src/sim/core.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+// How PUT operations treat the crafted value — the paper's three variants.
+enum class KvWritePolicy : uint8_t {
+  kBaseline,  // plain stores (Listing 6 without the prestore line)
+  kClean,     // clean pre-store after crafting (Listing 6)
+  kSkip,      // non-temporal stores inside craftValue
+};
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  // Associates `key` with the value at `value` (size is fixed per run and
+  // known to the workload). Keys must be non-zero.
+  virtual void Put(Core& core, uint64_t key, SimAddr value) = 0;
+
+  // Returns the value address, or 0 when absent.
+  virtual SimAddr Get(Core& core, uint64_t key) = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+// Writes `size` bytes of key-derived payload at `dst`, sequentially —
+// the craftValue function of Listing 6. With kSkip the stores are
+// non-temporal; with kClean a clean pre-store covers the value afterwards.
+inline void CraftValue(Core& core, FuncToken func, SimAddr dst, uint32_t size,
+                       uint64_t key, KvWritePolicy policy) {
+  ScopedFunction f(core, func);
+  uint64_t word = key * 0x9e3779b97f4a7c15ULL + 1;
+  if (policy == KvWritePolicy::kSkip) {
+    for (uint32_t off = 0; off < size; off += 8) {
+      core.StoreNtU64(dst + off, word);
+      word += key;
+    }
+  } else {
+    for (uint32_t off = 0; off < size; off += 8) {
+      core.StoreU64(dst + off, word);
+      word += key;
+    }
+    if (policy == KvWritePolicy::kClean) {
+      core.Prestore(dst, size, PrestoreOp::kClean);
+    }
+  }
+}
+
+// Checks a crafted value (functional tests): returns true when the payload
+// at `addr` matches what CraftValue(key) writes.
+inline bool CheckValue(Core& core, SimAddr addr, uint32_t size, uint64_t key) {
+  uint64_t word = key * 0x9e3779b97f4a7c15ULL + 1;
+  for (uint32_t off = 0; off < size; off += 8) {
+    if (core.LoadU64(addr + off) != word) {
+      return false;
+    }
+    word += key;
+  }
+  return true;
+}
+
+// Per-thread ring of value slots: models an allocator that recycles value
+// buffers (keys always point at the most recently crafted slot).
+class ValueArena {
+ public:
+  ValueArena(Machine& machine, uint32_t slots, uint32_t value_size)
+      : base_(machine.Alloc(static_cast<uint64_t>(slots) * value_size,
+                            Region::kTarget,
+                            std::min<uint64_t>(4096, std::bit_ceil(
+                                                         value_size)))),
+        slots_(slots),
+        value_size_(value_size) {}
+
+  SimAddr NextSlot() {
+    const SimAddr a = base_ + static_cast<uint64_t>(next_) * value_size_;
+    next_ = (next_ + 1) % slots_;
+    return a;
+  }
+
+  uint32_t value_size() const { return value_size_; }
+
+ private:
+  SimAddr base_;
+  uint32_t slots_;
+  uint32_t value_size_;
+  uint32_t next_ = 0;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_KV_KVSTORE_H_

@@ -1,0 +1,101 @@
+// Masstree-like B+tree index (Mao, Kohler, Morris — EuroSys'12), the second
+// KV-store index the paper evaluates (§7.2.3, §7.3.1).
+//
+// Faithful to the part the paper exercises: every node carries a version
+// word; readers use optimistic concurrency — read the version, fence, read
+// the node, fence, re-check the version (Listing 7) — and writers lock nodes
+// by CAS-ing the version's lock bit, which has fence semantics and forces
+// publication of the freshly crafted value.
+//
+// Simplification vs. real Masstree (documented in DESIGN.md): one fixed-size
+// key layer (uint64 keys, no trie of layers), and structural modifications
+// (splits) serialize on a coarse split lock while in-leaf updates stay
+// fine-grained. The fence/version protocol — the behaviour under study — is
+// unchanged.
+#ifndef SRC_KV_MASSTREE_H_
+#define SRC_KV_MASSTREE_H_
+
+#include <vector>
+
+#include "src/kv/kvstore.h"
+
+namespace prestore {
+
+class Masstree : public KvStore {
+ public:
+  static constexpr uint32_t kMaxKeys = 14;
+
+  explicit Masstree(Machine& machine);
+
+  void Put(Core& core, uint64_t key, SimAddr value) override;
+  SimAddr Get(Core& core, uint64_t key) override;
+  const char* Name() const override { return "masstree"; }
+
+  // Range scan: collects up to `limit` (key, value) pairs with key >=
+  // `start_key`, in key order, walking the B-link leaf chain with the same
+  // optimistic version protocol as Get.
+  std::vector<std::pair<uint64_t, SimAddr>> Scan(Core& core,
+                                                 uint64_t start_key,
+                                                 size_t limit);
+
+  // Walks the leaf chain and verifies key ordering; returns the number of
+  // keys (single-threaded diagnostics for tests).
+  uint64_t CheckedSize(Core& core);
+  int Height(Core& core);
+
+ private:
+  // Node layout (256B, line-aligned):
+  //   +0    version (bit 0 = locked, +2 per modification)
+  //   +8    meta: nkeys | (is_leaf << 32)
+  //   +16   keys[14]
+  //   +128  leaf: values[14] / internal: children[15]
+  //   +248  leaf: next-leaf pointer
+  static constexpr uint64_t kVersionOff = 0;
+  static constexpr uint64_t kMetaOff = 8;
+  static constexpr uint64_t kKeysOff = 16;
+  static constexpr uint64_t kSlotsOff = 128;
+  static constexpr uint64_t kHighOff = 240;  // leaf upper bound (0 = +inf)
+  static constexpr uint64_t kNextOff = 248;
+  static constexpr uint64_t kNodeBytes = 256;
+
+  SimAddr NewNode(Core& core, bool leaf);
+  static bool IsLocked(uint64_t version) { return (version & 1) != 0; }
+
+  uint64_t ReadVersion(Core& core, SimAddr node);
+  bool LockFromVersion(Core& core, SimAddr node, uint64_t version);
+  void LockNode(Core& core, SimAddr node);
+  void UnlockNode(Core& core, SimAddr node, uint64_t locked_version);
+
+  uint32_t NodeKeys(Core& core, SimAddr node);
+  bool NodeIsLeaf(Core& core, SimAddr node);
+  void SetMeta(Core& core, SimAddr node, uint32_t nkeys, bool leaf);
+
+  // OCC descent (Listing 7). Returns the leaf and the version it was
+  // observed at.
+  struct LeafRef {
+    SimAddr node;
+    uint64_t version;
+  };
+  LeafRef FindLeaf(Core& core, uint64_t key);
+
+  // Child index for `key` in an internal node with `nkeys` separators.
+  uint32_t ChildIndex(Core& core, SimAddr node, uint32_t nkeys, uint64_t key);
+
+  // Splits the locked, full `leaf` and inserts (key, value). Serializes on
+  // the structural lock; unlocks the leaf before returning.
+  void SplitAndInsert(Core& core, SimAddr leaf, uint64_t leaf_version,
+                      uint64_t key, SimAddr value);
+  void InsertIntoParent(Core& core, const std::vector<SimAddr>& path,
+                        SimAddr left, uint64_t separator, SimAddr right);
+
+  Machine& machine_;
+  SimAddr root_ptr_;    // sim address holding the root node address
+  SimAddr split_lock_;  // coarse structural lock (sim CAS)
+  FuncToken put_func_;
+  FuncToken get_func_;
+  FuncToken traverse_func_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_KV_MASSTREE_H_

@@ -1,0 +1,56 @@
+// YCSB workload driver for the simulated KV stores (§7.2.3).
+#ifndef SRC_KV_YCSB_H_
+#define SRC_KV_YCSB_H_
+
+#include <cstdint>
+
+#include "src/kv/kvstore.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+enum class YcsbWorkload : uint8_t {
+  kA,  // 50% reads / 50% updates — the paper's headline KV workload
+  kB,  // 95% reads / 5% updates
+  kC,  // 100% reads
+  kD,  // 95% reads / 5% inserts (read-latest)
+  kF,  // 50% reads / 50% read-modify-writes
+};
+
+struct YcsbConfig {
+  YcsbWorkload workload = YcsbWorkload::kA;
+  uint64_t num_keys = 100000;
+  uint32_t value_size = 1024;
+  uint32_t threads = 4;
+  uint32_t ops_per_thread = 5000;
+  KvWritePolicy policy = KvWritePolicy::kBaseline;
+  double zipf_theta = 0.99;
+  uint64_t seed = 42;
+  // Value-buffer slots recycled per thread (allocator model).
+  uint32_t arena_slots = 2048;
+};
+
+struct YcsbResult {
+  uint64_t cycles = 0;
+  uint64_t ops = 0;
+  uint64_t failed_gets = 0;  // keys not found (should be 0 after load)
+  double write_amplification = 1.0;
+
+  // Requests per million simulated cycles (the shape-comparable unit for the
+  // paper's "requests per second").
+  double ThroughputPerMcycle() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(ops) * 1e6 /
+                             static_cast<double>(cycles);
+  }
+};
+
+// Preloads `num_keys` keys (1..num_keys) with crafted values.
+void YcsbLoad(Machine& machine, KvStore& store, const YcsbConfig& config);
+
+// Runs the transaction phase and reports simulated cycles + device stats.
+YcsbResult YcsbRun(Machine& machine, KvStore& store, const YcsbConfig& config);
+
+}  // namespace prestore
+
+#endif  // SRC_KV_YCSB_H_

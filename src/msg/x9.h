@@ -1,0 +1,66 @@
+// X9-like message-passing library (§7.3.2): fixed-capacity inboxes of
+// reusable message slots; producers fill a message struct and publish it
+// with a compare-and-swap, consumers poll.
+//
+// The pattern under study (Listing 8): fill_msg writes the payload, then
+// x9_write_to_inbox's CAS forces publication of those private stores. A
+// demote pre-store between the two overlaps publication with the inbox
+// bookkeeping, cutting the send latency.
+#ifndef SRC_MSG_X9_H_
+#define SRC_MSG_X9_H_
+
+#include "src/sim/core.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+enum class MsgPrestore : uint8_t {
+  kOff,
+  kDemote,  // DirtBuster's recommendation (message buffers are reused)
+};
+
+class X9Inbox {
+ public:
+  // `slots` must be a power of two; `msg_size` is the payload size.
+  X9Inbox(Machine& machine, uint32_t slots, uint32_t msg_size);
+
+  uint32_t msg_size() const { return msg_size_; }
+
+  // Producer side: fills the slot's payload from `payload` and publishes.
+  // Returns false when the inbox is full (slot not yet consumed).
+  bool TryWrite(Core& core, const void* payload, MsgPrestore mode);
+
+  // Consumer side: copies the oldest message into `out` (msg_size bytes).
+  // Returns false when the inbox is empty.
+  bool TryRead(Core& core, void* out);
+
+  // Producer fills the payload with a marker + the producer's send
+  // timestamp; used by the latency harness.
+  bool TryWriteStamped(Core& core, uint64_t marker, MsgPrestore mode);
+
+  // Returns the marker and the embedded send timestamp.
+  bool TryReadStamped(Core& core, uint64_t* marker, uint64_t* send_time);
+
+ private:
+  // Slot layout: [state line][seq + payload lines]; state 0 = empty,
+  // 1 = full. The flag lives on its own line so that payload publication
+  // and flag CAS do not collide.
+  SimAddr SlotAddr(uint64_t i) const {
+    return slots_addr_ + (i & (num_slots_ - 1)) * slot_bytes_;
+  }
+
+  Machine& machine_;
+  uint32_t num_slots_;
+  uint32_t msg_size_;
+  uint64_t slot_bytes_;
+  SimAddr slots_addr_;
+  SimAddr head_addr_;  // consumer cursor (shared)
+  SimAddr tail_addr_;  // producer cursor (shared)
+  FuncToken fill_func_;
+  FuncToken write_func_;
+  FuncToken read_func_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_MSG_X9_H_

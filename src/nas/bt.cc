@@ -1,0 +1,88 @@
+#include "src/nas/bt.h"
+
+#include "src/util/rng.h"
+
+namespace prestore {
+
+BtKernel::BtKernel(Machine& machine, NasPrestore mode, uint32_t scale)
+    : machine_(machine),
+      mode_(mode),
+      nx_(20 * scale),
+      ny_(20 * scale),
+      nz_(20 * scale),
+      u_(machine, 5 * nx_ * ny_ * nz_),
+      rhs_(machine, 5 * nx_ * ny_ * nz_),
+      block_(machine, 25),
+      rhs_func_{machine.registry().Intern("compute_rhs", "bt.f90:270")},
+      solve_func_{machine.registry().Intern("x_solve_block", "bt.f90:40")} {
+  Core& core = machine.core(0);
+  Xoshiro256 rng(machine.config().seed ^ 0xb7);
+  for (uint64_t i = 0; i < u_.size(); i += 13) {
+    u_.Set(core, i, rng.NextDouble() - 0.3);
+  }
+}
+
+void BtKernel::ComputeRhs(Core& core) {
+  ScopedFunction f(core, rhs_func_);
+  for (uint64_t k = 1; k + 1 < nz_; ++k) {
+    for (uint64_t j = 1; j + 1 < ny_; ++j) {
+      const uint64_t row_start = Idx(0, 1, j, k);
+      for (uint64_t i = 1; i + 1 < nx_; ++i) {
+        for (uint64_t m = 0; m < 5; ++m) {
+          const double v =
+              u_.Get(core, Idx(m, i, j, k)) * 1.25 -
+              0.5 * (u_.Get(core, Idx(m, i, j - 1, k)) +
+                     u_.Get(core, Idx(m, i, j + 1, k)));
+          core.Execute(4);
+          rhs_.Set(core, Idx(m, i, j, k), v);
+        }
+      }
+      if (mode_ == NasPrestore::kOn) {
+        core.Prestore(rhs_.AddrOf(row_start), (nx_ - 2) * 5 * sizeof(double),
+                      PrestoreOp::kClean);
+      }
+    }
+  }
+}
+
+void BtKernel::BlockSolve(Core& core) {
+  ScopedFunction f(core, solve_func_);
+  // Per cell: assemble a 5x5 block in the scratch (rewritten constantly),
+  // "invert" it cheaply, and update U.
+  for (uint64_t k = 1; k + 1 < nz_; ++k) {
+    for (uint64_t j = 1; j + 1 < ny_; ++j) {
+      for (uint64_t i = 1; i + 1 < nx_; ++i) {
+        for (uint64_t a = 0; a < 5; ++a) {
+          for (uint64_t b = 0; b < 5; ++b) {
+            block_.Set(core, a * 5 + b, a == b ? 2.0 : 0.1);
+          }
+        }
+        for (uint64_t m = 0; m < 5; ++m) {
+          const double diag = block_.Get(core, m * 5 + m);
+          const double r = rhs_.Get(core, Idx(m, i, j, k));
+          core.Execute(4);
+          u_.Set(core, Idx(m, i, j, k),
+                 u_.Get(core, Idx(m, i, j, k)) + r / diag);
+        }
+      }
+    }
+  }
+}
+
+void BtKernel::Run(Core& core) {
+  constexpr int kIterations = 2;
+  for (int it = 0; it < kIterations; ++it) {
+    ComputeRhs(core);
+    BlockSolve(core);
+  }
+}
+
+double BtKernel::Checksum(Core& core) {
+  double sum = 0.0;
+  for (uint64_t i = 0; i < u_.size(); i += 89) {
+    sum += u_.Get(core, i);
+  }
+  return sum;
+}
+
+}  // namespace prestore

@@ -1,0 +1,40 @@
+// BT — Block Tri-diagonal solver kernel (§7.2.2). Like SP, the RHS matrix
+// dominates the writes (sequential, rarely reused -> clean), but the solver
+// works on 5x5 blocks.
+#ifndef SRC_NAS_BT_H_
+#define SRC_NAS_BT_H_
+
+#include "src/nas/nas_common.h"
+#include "src/sim/array.h"
+
+namespace prestore {
+
+class BtKernel : public NasKernel {
+ public:
+  BtKernel(Machine& machine, NasPrestore mode, uint32_t scale);
+
+  const char* name() const override { return "bt"; }
+  bool WriteIntensive() const override { return true; }
+  bool SequentialWrites() const override { return true; }
+  void Run(Core& core) override;
+  double Checksum(Core& core) override;
+
+ private:
+  uint64_t Idx(uint64_t m, uint64_t i, uint64_t j, uint64_t k) const {
+    return ((k * ny_ + j) * nx_ + i) * 5 + m;
+  }
+
+  void ComputeRhs(Core& core);
+  void BlockSolve(Core& core);
+
+  Machine& machine_;
+  NasPrestore mode_;
+  uint64_t nx_, ny_, nz_;
+  SimArray<double> u_, rhs_;
+  SimArray<double> block_;  // one 5x5 block scratch
+  FuncToken rhs_func_, solve_func_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_NAS_BT_H_

@@ -1,0 +1,128 @@
+#include "src/nas/ft.h"
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace prestore {
+
+FtKernel::FtKernel(Machine& machine, NasPrestore mode, uint32_t scale,
+                   FtPatch patch_override)
+    : machine_(machine),
+      patch_(patch_override != FtPatch::kNone
+                 ? patch_override
+                 : (mode == NasPrestore::kOn ? FtPatch::kCffts1Clean
+                                             : FtPatch::kNone)),
+      nx_(64),
+      ny_(16 * scale),
+      nz_(16 * scale),
+      x_(machine, 2 * nx_ * ny_ * nz_),
+      xout_(machine, 2 * nx_ * ny_ * nz_),
+      y1_(machine, 2 * nx_),
+      cffts1_func_{machine.registry().Intern("cffts1", "ft.f90:570")},
+      fftz2_func_{machine.registry().Intern("fftz2", "ft.f90:650")},
+      evolve_func_{machine.registry().Intern("evolve", "ft.f90:300")} {
+  Core& core = machine.core(0);
+  Xoshiro256 rng(machine.config().seed ^ 0xf7);
+  for (uint64_t i = 0; i < x_.size(); i += 23) {
+    x_.Set(core, i, rng.NextDouble() - 0.5);
+  }
+}
+
+void FtKernel::Fftz2(Core& core, uint64_t stage) {
+  ScopedFunction f(core, fftz2_func_);
+  // Radix-2 decimation-in-time butterflies over the Y1 scratch. The scratch
+  // (2 * nx doubles = 1KB) fits in the L1 and is rewritten log2(nx) times
+  // per pencil — exactly the §7.4.2 data that must NOT be cleaned.
+  const uint64_t half = 1ULL << stage;
+  const uint64_t span = half * 2;
+  for (uint64_t base = 0; base < nx_; base += span) {
+    for (uint64_t k = 0; k < half; ++k) {
+      const double angle =
+          -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(span);
+      const double wr = std::cos(angle);
+      const double wi = std::sin(angle);
+      const uint64_t a = 2 * (base + k);
+      const uint64_t b = 2 * (base + k + half);
+      const double ar = y1_.Get(core, a);
+      const double ai = y1_.Get(core, a + 1);
+      const double br = y1_.Get(core, b);
+      const double bi = y1_.Get(core, b + 1);
+      const double tr = wr * br - wi * bi;
+      const double ti = wr * bi + wi * br;
+      core.Execute(10);
+      y1_.Set(core, a, ar + tr);
+      y1_.Set(core, a + 1, ai + ti);
+      y1_.Set(core, b, ar - tr);
+      y1_.Set(core, b + 1, ai - ti);
+      if (patch_ == FtPatch::kFftz2Clean) {
+        // §7.4.2's misuse: the naive patch cleans right where the writes
+        // happen — but the next butterfly stage rewrites these same lines,
+        // so every clean turns into a useless round trip ("a 3x slowdown").
+        core.Prestore(y1_.AddrOf(a), 2 * sizeof(double), PrestoreOp::kClean);
+        core.Prestore(y1_.AddrOf(b), 2 * sizeof(double), PrestoreOp::kClean);
+      }
+    }
+  }
+}
+
+void FtKernel::Cffts1(Core& core) {
+  ScopedFunction f(core, cffts1_func_);
+  const uint64_t stages = 63 - __builtin_clzll(nx_);
+  for (uint64_t z = 0; z < nz_; ++z) {
+    for (uint64_t y = 0; y < ny_; ++y) {
+      const uint64_t pencil = 2 * nx_ * (z * ny_ + y);
+      // Gather the pencil into the Y1 scratch (bit-reversal order).
+      for (uint64_t i = 0; i < nx_; ++i) {
+        uint64_t rev = 0;
+        for (uint64_t b = 0; b < stages; ++b) {
+          rev |= ((i >> b) & 1) << (stages - 1 - b);
+        }
+        y1_.Set(core, 2 * rev, x_.Get(core, pencil + 2 * i));
+        y1_.Set(core, 2 * rev + 1, x_.Get(core, pencil + 2 * i + 1));
+      }
+      for (uint64_t s = 0; s < stages; ++s) {
+        Fftz2(core, s);
+      }
+      // Sequentially transfer the result into XOUT (§7.2.2: "the cffts1
+      // function sequentially transfers results from a matrix Y1 to a
+      // matrix XOUT").
+      for (uint64_t i = 0; i < 2 * nx_; ++i) {
+        xout_.Set(core, pencil + i, y1_.Get(core, i));
+      }
+      if (patch_ == FtPatch::kCffts1Clean) {
+        core.Prestore(xout_.AddrOf(pencil), 2 * nx_ * sizeof(double),
+                      PrestoreOp::kClean);
+      }
+    }
+  }
+}
+
+void FtKernel::Evolve(Core& core) {
+  ScopedFunction f(core, evolve_func_);
+  for (uint64_t i = 0; i < x_.size(); i += 2) {
+    const double re = xout_.Get(core, i);
+    const double im = xout_.Get(core, i + 1);
+    core.Execute(4);
+    x_.Set(core, i, re * 0.99);
+    x_.Set(core, i + 1, im * 0.99);
+  }
+}
+
+void FtKernel::Run(Core& core) {
+  constexpr int kIterations = 2;
+  for (int it = 0; it < kIterations; ++it) {
+    Cffts1(core);
+    Evolve(core);
+  }
+}
+
+double FtKernel::Checksum(Core& core) {
+  double sum = 0.0;
+  for (uint64_t i = 0; i < xout_.size(); i += 131) {
+    sum += xout_.Get(core, i);
+  }
+  return sum;
+}
+
+}  // namespace prestore

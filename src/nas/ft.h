@@ -1,0 +1,51 @@
+// FT — 3D Fast Fourier Transform kernel (§7.2.2, §7.4.2).
+//
+// DirtBuster's findings the reproduction preserves:
+//  - `cffts1` sequentially transfers per-pencil results from the Y1 scratch
+//    into the XOUT array -> clean pre-store helps (§7.2.2);
+//  - `fftz2` (the butterfly inner stage) rewrites a small scratch that fits
+//    in the cache; cleaning it is the §7.4.2 misuse that cost 3x.
+#ifndef SRC_NAS_FT_H_
+#define SRC_NAS_FT_H_
+
+#include "src/nas/nas_common.h"
+#include "src/sim/array.h"
+
+namespace prestore {
+
+// Which (if any) pre-store patch is applied to FT.
+enum class FtPatch : uint8_t {
+  kNone,
+  kCffts1Clean,  // DirtBuster's recommendation
+  kFftz2Clean,   // the manual misuse of §7.4.2
+};
+
+class FtKernel : public NasKernel {
+ public:
+  FtKernel(Machine& machine, NasPrestore mode, uint32_t scale,
+           FtPatch patch_override = FtPatch::kNone);
+
+  const char* name() const override { return "ft"; }
+  bool WriteIntensive() const override { return true; }
+  bool SequentialWrites() const override { return true; }
+  void Run(Core& core) override;
+  double Checksum(Core& core) override;
+
+ private:
+  // One radix-2 butterfly stage over the Y1 pencil scratch.
+  void Fftz2(Core& core, uint64_t stage);
+  // FFT every x-pencil: gather into Y1, run stages, scatter to XOUT.
+  void Cffts1(Core& core);
+  void Evolve(Core& core);
+
+  Machine& machine_;
+  FtPatch patch_;
+  uint64_t nx_, ny_, nz_;  // nx = pencil length (power of two)
+  // Complex data as interleaved (re, im) doubles.
+  SimArray<double> x_, xout_, y1_;
+  FuncToken cffts1_func_, fftz2_func_, evolve_func_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_NAS_FT_H_

@@ -1,0 +1,53 @@
+// MG — multi-grid V-cycle kernel (§7.2.2).
+//
+// The paper's DirtBuster run on MG reports that `psinv` writes the U grid
+// and `resid` writes the R grid 100% sequentially in ~2.1MB contexts, with R
+// re-read (choice: clean) and U never reused (choice: skip; clean used as
+// the Fortran-compatible fallback, Listing 5).
+#ifndef SRC_NAS_MG_H_
+#define SRC_NAS_MG_H_
+
+#include "src/nas/nas_common.h"
+#include "src/sim/array.h"
+
+namespace prestore {
+
+class MgKernel : public NasKernel {
+ public:
+  MgKernel(Machine& machine, NasPrestore mode, uint32_t scale);
+
+  const char* name() const override { return "mg"; }
+  bool WriteIntensive() const override { return true; }
+  bool SequentialWrites() const override { return true; }
+  void Run(Core& core) override;
+  double Checksum(Core& core) override;
+
+ private:
+  uint64_t Idx(uint64_t i1, uint64_t i2, uint64_t i3) const {
+    return (i3 * n_ + i2) * n_ + i1;
+  }
+  uint64_t CoarseIdx(uint64_t i1, uint64_t i2, uint64_t i3) const {
+    return (i3 * nc_ + i2) * nc_ + i1;
+  }
+
+  // r = v - A*u (7-point stencil); writes R sequentially.
+  void Resid(Core& core);
+  // u += C*r (smoother); writes U sequentially.
+  void Psinv(Core& core);
+  // Restrict r to the coarse grid.
+  void Rprj3(Core& core);
+  // Prolongate the coarse solution back, correcting u.
+  void Interp(Core& core);
+
+  Machine& machine_;
+  NasPrestore mode_;
+  uint64_t n_;   // fine grid edge
+  uint64_t nc_;  // coarse grid edge
+  SimArray<double> u_, v_, r_;
+  SimArray<double> uc_, rc_;
+  FuncToken resid_func_, psinv_func_, rprj3_func_, interp_func_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_NAS_MG_H_

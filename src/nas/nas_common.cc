@@ -1,0 +1,64 @@
+#include "src/nas/nas_common.h"
+
+#include "src/nas/bt.h"
+#include "src/nas/ft.h"
+#include "src/nas/mg.h"
+#include "src/nas/small_kernels.h"
+#include "src/nas/sp.h"
+#include "src/nas/ua.h"
+
+namespace prestore {
+
+std::unique_ptr<NasKernel> MakeNasKernel(std::string_view name,
+                                         Machine& machine, NasPrestore mode,
+                                         uint32_t scale) {
+  if (name == "mg") {
+    return std::make_unique<MgKernel>(machine, mode, scale);
+  }
+  if (name == "ft") {
+    return std::make_unique<FtKernel>(machine, mode, scale);
+  }
+  if (name == "sp") {
+    return std::make_unique<SpKernel>(machine, mode, scale);
+  }
+  if (name == "bt") {
+    return std::make_unique<BtKernel>(machine, mode, scale);
+  }
+  if (name == "ua") {
+    return std::make_unique<UaKernel>(machine, mode, scale);
+  }
+  if (name == "is") {
+    return std::make_unique<IsKernel>(machine, mode, scale);
+  }
+  if (name == "cg") {
+    return std::make_unique<CgKernel>(machine, mode, scale);
+  }
+  if (name == "ep") {
+    return std::make_unique<EpKernel>(machine, mode, scale);
+  }
+  if (name == "lu") {
+    return std::make_unique<LuKernel>(machine, mode, scale);
+  }
+  return nullptr;
+}
+
+MachineConfig NasBenchMachineA() {
+  MachineConfig cfg = MachineA(1);
+  cfg.llc.size_bytes = 256 << 10;
+  cfg.target.media_cycles_per_byte = 1.2;
+  return cfg;
+}
+
+MachineConfig NasBenchMachineBFast() {
+  MachineConfig cfg = MachineBFast(1);
+  cfg.llc.size_bytes = 256 << 10;
+  return cfg;
+}
+
+const std::vector<std::string>& NasKernelNames() {
+  static const std::vector<std::string> names = {"mg", "ft", "sp", "bt", "ua",
+                                                 "is", "cg", "ep", "lu"};
+  return names;
+}
+
+}  // namespace prestore

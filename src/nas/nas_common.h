@@ -1,0 +1,63 @@
+// Common interface for the NAS Parallel Benchmark kernel re-implementations
+// (§7.2.2). Each kernel re-creates the memory-relevant loops of the original
+// at class-S/W scale, with the paper's pre-store patch points.
+#ifndef SRC_NAS_NAS_COMMON_H_
+#define SRC_NAS_NAS_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/prestore.h"
+#include "src/sim/core.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+// Whether the paper's recommended pre-stores are inserted (Listing 5 style).
+enum class NasPrestore : uint8_t {
+  kOff,
+  kOn,
+};
+
+class NasKernel {
+ public:
+  virtual ~NasKernel() = default;
+
+  virtual const char* name() const = 0;
+
+  // Table 2 ground truth for this kernel.
+  virtual bool WriteIntensive() const = 0;
+  virtual bool SequentialWrites() const = 0;
+
+  // One benchmark run (a few iterations of the kernel's main loop).
+  virtual void Run(Core& core) = 0;
+
+  // Deterministic checksum over the result arrays: pre-stores must never
+  // change it.
+  virtual double Checksum(Core& core) = 0;
+};
+
+// Factory. Supported names: mg, ft, sp, bt, ua, is, cg, ep, lu.
+// `scale` shrinks/grows the default problem size (1 = test scale).
+std::unique_ptr<NasKernel> MakeNasKernel(std::string_view name,
+                                         Machine& machine, NasPrestore mode,
+                                         uint32_t scale = 1);
+
+const std::vector<std::string>& NasKernelNames();
+
+// Machine A configuration proportioned for the scale-1 kernels: the LLC is
+// shrunk so that the kernels' grids exceed it (as the full-size grids exceed
+// the real 27.5MB LLC) and the PMEM media bandwidth is scaled to the
+// single-core traffic rate (the paper's NAS runs are OpenMP-parallel and
+// saturate the PMEM; see EXPERIMENTS.md calibration notes).
+MachineConfig NasBenchMachineA();
+
+// Machine B (fast FPGA) proportioned the same way: the kernels' grids must
+// exceed the LLC as they do on the real machine.
+MachineConfig NasBenchMachineBFast();
+
+}  // namespace prestore
+
+#endif  // SRC_NAS_NAS_COMMON_H_

@@ -1,0 +1,103 @@
+// IS, CG, EP and LU — the NAS kernels the paper classifies as either
+// write-intensive-but-not-sequential (IS) or not write-intensive (CG, EP,
+// LU), per Table 2.
+#ifndef SRC_NAS_SMALL_KERNELS_H_
+#define SRC_NAS_SMALL_KERNELS_H_
+
+#include "src/nas/nas_common.h"
+#include "src/sim/array.h"
+#include "src/util/rng.h"
+
+namespace prestore {
+
+// IS — integer sort. The `rank` function writes small amounts of data in a
+// seemingly random pattern (§7.4.2): write-intensive, NOT sequential.
+// Pre-stores (when forced on for the misuse study) have no effect.
+class IsKernel : public NasKernel {
+ public:
+  IsKernel(Machine& machine, NasPrestore mode, uint32_t scale);
+
+  const char* name() const override { return "is"; }
+  bool WriteIntensive() const override { return true; }
+  bool SequentialWrites() const override { return false; }
+  void Run(Core& core) override;
+  double Checksum(Core& core) override;
+
+ private:
+  void Rank(Core& core);
+
+  Machine& machine_;
+  NasPrestore mode_;
+  uint64_t num_keys_;
+  uint64_t max_key_;
+  SimArray<uint64_t> key_array_, key_buff1_, key_buff2_;
+  FuncToken rank_func_;
+};
+
+// CG — conjugate gradient: sparse matvec dominated by reads (Table 2: not
+// write-intensive).
+class CgKernel : public NasKernel {
+ public:
+  CgKernel(Machine& machine, NasPrestore mode, uint32_t scale);
+
+  const char* name() const override { return "cg"; }
+  bool WriteIntensive() const override { return false; }
+  bool SequentialWrites() const override { return false; }
+  void Run(Core& core) override;
+  double Checksum(Core& core) override;
+
+ private:
+  Machine& machine_;
+  uint64_t rows_;
+  static constexpr uint64_t kNnzPerRow = 12;
+  SimArray<double> values_, x_, q_;
+  SimArray<uint64_t> cols_;
+  FuncToken matvec_func_;
+  double last_dot_ = 0.0;
+};
+
+// EP — embarrassingly parallel random-number kernel: compute-bound, almost
+// no memory traffic (Table 2: not write-intensive).
+class EpKernel : public NasKernel {
+ public:
+  EpKernel(Machine& machine, NasPrestore mode, uint32_t scale);
+
+  const char* name() const override { return "ep"; }
+  bool WriteIntensive() const override { return false; }
+  bool SequentialWrites() const override { return false; }
+  void Run(Core& core) override;
+  double Checksum(Core& core) override;
+
+ private:
+  Machine& machine_;
+  uint64_t pairs_;
+  SimArray<double> counts_;  // 10 annuli + sx, sy
+  FuncToken gaussian_func_;
+};
+
+// LU — SSOR solver: in-place stencil updates with ~10 reads per write
+// (Table 2: not write-intensive).
+class LuKernel : public NasKernel {
+ public:
+  LuKernel(Machine& machine, NasPrestore mode, uint32_t scale);
+
+  const char* name() const override { return "lu"; }
+  bool WriteIntensive() const override { return false; }
+  bool SequentialWrites() const override { return false; }
+  void Run(Core& core) override;
+  double Checksum(Core& core) override;
+
+ private:
+  uint64_t Idx(uint64_t i, uint64_t j, uint64_t k) const {
+    return (k * n_ + j) * n_ + i;
+  }
+
+  Machine& machine_;
+  uint64_t n_;
+  SimArray<double> u_;
+  FuncToken ssor_func_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_NAS_SMALL_KERNELS_H_

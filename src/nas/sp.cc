@@ -1,0 +1,89 @@
+#include "src/nas/sp.h"
+
+#include "src/util/rng.h"
+
+namespace prestore {
+
+SpKernel::SpKernel(Machine& machine, NasPrestore mode, uint32_t scale)
+    : machine_(machine),
+      mode_(mode),
+      nx_(24 * scale),
+      ny_(24 * scale),
+      nz_(24 * scale),
+      u_(machine, 5 * nx_ * ny_ * nz_),
+      rhs_(machine, 5 * nx_ * ny_ * nz_),
+      lhs_(machine, 5 * nx_),
+      rhs_func_{machine.registry().Intern("compute_rhs", "sp.f90:310")},
+      xsolve_func_{machine.registry().Intern("x_solve", "sp.f90:31")} {
+  Core& core = machine.core(0);
+  Xoshiro256 rng(machine.config().seed ^ 0x59);
+  for (uint64_t i = 0; i < u_.size(); i += 11) {
+    u_.Set(core, i, rng.NextDouble());
+  }
+}
+
+void SpKernel::ComputeRhs(Core& core) {
+  ScopedFunction f(core, rhs_func_);
+  for (uint64_t k = 1; k + 1 < nz_; ++k) {
+    for (uint64_t j = 1; j + 1 < ny_; ++j) {
+      const uint64_t row_start = Idx(0, 1, j, k);
+      for (uint64_t i = 1; i + 1 < nx_; ++i) {
+        for (uint64_t m = 0; m < 5; ++m) {
+          const uint64_t c = Idx(m, i, j, k);
+          const double v = u_.Get(core, c) -
+                           0.25 * (u_.Get(core, Idx(m, i - 1, j, k)) +
+                                   u_.Get(core, Idx(m, i + 1, j, k)));
+          core.Execute(4);
+          rhs_.Set(core, c, v);
+        }
+      }
+      if (mode_ == NasPrestore::kOn) {
+        // RHS is written sequentially and rarely reused: clean (§7.2.2).
+        core.Prestore(rhs_.AddrOf(row_start), (nx_ - 2) * 5 * sizeof(double),
+                      PrestoreOp::kClean);
+      }
+    }
+  }
+}
+
+void SpKernel::XSolve(Core& core) {
+  ScopedFunction f(core, xsolve_func_);
+  // Thomas-algorithm-like sweep per (j, k) line using the small LHS scratch
+  // (heavily rewritten — correctly NOT pre-stored).
+  for (uint64_t k = 1; k + 1 < nz_; ++k) {
+    for (uint64_t j = 1; j + 1 < ny_; ++j) {
+      for (uint64_t i = 0; i < nx_; ++i) {
+        for (uint64_t m = 0; m < 5; ++m) {
+          lhs_.Set(core, i * 5 + m, 1.0 + 0.1 * static_cast<double>(m));
+        }
+      }
+      for (uint64_t i = 1; i + 1 < nx_; ++i) {
+        for (uint64_t m = 0; m < 5; ++m) {
+          const double fac = lhs_.Get(core, i * 5 + m);
+          const double r = rhs_.Get(core, Idx(m, i, j, k));
+          core.Execute(3);
+          u_.Set(core, Idx(m, i, j, k),
+                 u_.Get(core, Idx(m, i, j, k)) + r / fac * 0.5);
+        }
+      }
+    }
+  }
+}
+
+void SpKernel::Run(Core& core) {
+  constexpr int kIterations = 2;
+  for (int it = 0; it < kIterations; ++it) {
+    ComputeRhs(core);
+    XSolve(core);
+  }
+}
+
+double SpKernel::Checksum(Core& core) {
+  double sum = 0.0;
+  for (uint64_t i = 0; i < u_.size(); i += 97) {
+    sum += u_.Get(core, i);
+  }
+  return sum;
+}
+
+}  // namespace prestore

@@ -1,0 +1,42 @@
+// SP — Scalar Penta-diagonal solver kernel (§7.2.2).
+//
+// DirtBuster on SP: dozens of matrices allocated, but the RHS matrix
+// accounts for most writes (in `compute_rhs`), written sequentially and
+// rarely reused -> clean after writing.
+#ifndef SRC_NAS_SP_H_
+#define SRC_NAS_SP_H_
+
+#include "src/nas/nas_common.h"
+#include "src/sim/array.h"
+
+namespace prestore {
+
+class SpKernel : public NasKernel {
+ public:
+  SpKernel(Machine& machine, NasPrestore mode, uint32_t scale);
+
+  const char* name() const override { return "sp"; }
+  bool WriteIntensive() const override { return true; }
+  bool SequentialWrites() const override { return true; }
+  void Run(Core& core) override;
+  double Checksum(Core& core) override;
+
+ private:
+  uint64_t Idx(uint64_t m, uint64_t i, uint64_t j, uint64_t k) const {
+    return ((k * ny_ + j) * nx_ + i) * 5 + m;
+  }
+
+  void ComputeRhs(Core& core);
+  void XSolve(Core& core);
+
+  Machine& machine_;
+  NasPrestore mode_;
+  uint64_t nx_, ny_, nz_;
+  SimArray<double> u_, rhs_;
+  SimArray<double> lhs_;  // small per-line scratch, heavily rewritten
+  FuncToken rhs_func_, xsolve_func_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_NAS_SP_H_

@@ -1,0 +1,83 @@
+#include "src/nas/ua.h"
+
+#include "src/util/rng.h"
+
+namespace prestore {
+
+UaKernel::UaKernel(Machine& machine, NasPrestore mode, uint32_t scale)
+    : machine_(machine),
+      mode_(mode),
+      num_elements_(6000 * scale),
+      solution_(machine, num_elements_ * kDofPerElement),
+      residual_(machine, num_elements_ * kDofPerElement),
+      neighbors_(machine, num_elements_ * 6),
+      diffuse_func_{machine.registry().Intern("diffuse", "ua/diffuse.f90:30")},
+      transfer_func_{
+          machine.registry().Intern("transfer", "ua/transfer.f90:112")} {
+  Core& core = machine.core(0);
+  Xoshiro256 rng(machine.config().seed ^ 0x0a);
+  for (uint64_t e = 0; e < num_elements_; ++e) {
+    for (int n = 0; n < 6; ++n) {
+      neighbors_.Set(core, e * 6 + n, rng.Below(num_elements_));
+    }
+  }
+  for (uint64_t i = 0; i < solution_.size(); i += 9) {
+    solution_.Set(core, i, rng.NextDouble());
+  }
+}
+
+void UaKernel::Diffuse(Core& core) {
+  ScopedFunction f(core, diffuse_func_);
+  for (uint64_t e = 0; e < num_elements_; ++e) {
+    const uint64_t base = e * kDofPerElement;
+    // Gather neighbour averages (irregular reads).
+    double nb = 0.0;
+    for (int n = 0; n < 6; ++n) {
+      const uint64_t other = neighbors_.Get(core, e * 6 + n);
+      nb += solution_.Get(core, other * kDofPerElement);
+    }
+    core.Execute(8);
+    // Sequential write of the element's residual DOFs.
+    for (uint64_t d = 0; d < kDofPerElement; ++d) {
+      residual_.Set(core, base + d,
+                    0.9 * solution_.Get(core, base + d) + 0.01 * nb);
+      core.Execute(2);
+    }
+    if (mode_ == NasPrestore::kOn) {
+      residual_.Prestore(core, base, kDofPerElement, PrestoreOp::kClean);
+    }
+  }
+}
+
+void UaKernel::Transfer(Core& core) {
+  ScopedFunction f(core, transfer_func_);
+  // Mortar-style transfer back: sequential write of the solution array.
+  for (uint64_t e = 0; e < num_elements_; ++e) {
+    const uint64_t base = e * kDofPerElement;
+    for (uint64_t d = 0; d < kDofPerElement; ++d) {
+      solution_.Set(core, base + d, residual_.Get(core, base + d));
+      core.Execute(1);
+    }
+    if (mode_ == NasPrestore::kOn) {
+      solution_.Prestore(core, base, kDofPerElement, PrestoreOp::kClean);
+    }
+  }
+}
+
+void UaKernel::Run(Core& core) {
+  constexpr int kIterations = 3;
+  for (int it = 0; it < kIterations; ++it) {
+    Diffuse(core);
+    Transfer(core);
+  }
+}
+
+double UaKernel::Checksum(Core& core) {
+  double sum = 0.0;
+  for (uint64_t i = 0; i < solution_.size(); i += 71) {
+    sum += solution_.Get(core, i);
+  }
+  return sum;
+}
+
+}  // namespace prestore

@@ -1,0 +1,38 @@
+// UA — Unstructured Adaptive mesh kernel (Table 2: write-intensive,
+// sequential writes). Simplified to the memory-relevant part: a heat-
+// transfer sweep that writes the per-element solution arrays sequentially,
+// plus an adaptive gather over an irregular adjacency (read side).
+#ifndef SRC_NAS_UA_H_
+#define SRC_NAS_UA_H_
+
+#include "src/nas/nas_common.h"
+#include "src/sim/array.h"
+
+namespace prestore {
+
+class UaKernel : public NasKernel {
+ public:
+  UaKernel(Machine& machine, NasPrestore mode, uint32_t scale);
+
+  const char* name() const override { return "ua"; }
+  bool WriteIntensive() const override { return true; }
+  bool SequentialWrites() const override { return true; }
+  void Run(Core& core) override;
+  double Checksum(Core& core) override;
+
+ private:
+  void Diffuse(Core& core);
+  void Transfer(Core& core);
+
+  Machine& machine_;
+  NasPrestore mode_;
+  uint64_t num_elements_;
+  static constexpr uint64_t kDofPerElement = 27;  // 3x3x3 nodes
+  SimArray<double> solution_, residual_;
+  SimArray<uint64_t> neighbors_;  // 6 per element, irregular
+  FuncToken diffuse_func_, transfer_func_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_NAS_UA_H_

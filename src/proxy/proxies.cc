@@ -1,0 +1,89 @@
+#include "src/proxy/proxies.h"
+
+#include "src/util/rng.h"
+
+namespace prestore {
+
+StreamReadProxy::StreamReadProxy(Machine& machine)
+    : data_(machine, (8 << 20) / 8),
+      func_{machine.registry().Intern("tensor_reduce", "numpy_like.cc:12")} {
+  Core& core = machine.core(0);
+  for (uint64_t i = 0; i < data_.size(); i += 97) {
+    data_.Set(core, i, static_cast<double>(i % 1009));
+  }
+}
+
+void StreamReadProxy::Run(Core& core) {
+  ScopedFunction f(core, func_);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < data_.size(); ++i) {
+    sum += data_.Get(core, i);
+    core.Execute(1);
+  }
+  core.Execute(static_cast<uint64_t>(sum) % 5 + 1);
+}
+
+RayTraceProxy::RayTraceProxy(Machine& machine)
+    : machine_(machine),
+      framebuffer_(machine, 64 * 64),
+      func_{machine.registry().Intern("trace_ray", "c_ray_like.cc:77")} {}
+
+void RayTraceProxy::Run(Core& core) {
+  ScopedFunction f(core, func_);
+  Xoshiro256 rng(machine_.config().seed ^ 0x3a7);
+  for (uint64_t p = 0; p < framebuffer_.size(); ++p) {
+    // Per-pixel: heavy intersection math, one tiny write.
+    uint64_t color = 0;
+    for (int bounce = 0; bounce < 6; ++bounce) {
+      core.Execute(120);  // sphere intersections / shading
+      color = color * 31 + rng.Next() % 255;
+    }
+    framebuffer_.Set(core, p, color);
+  }
+}
+
+CompressProxy::CompressProxy(Machine& machine)
+    : machine_(machine),
+      input_(machine, (4 << 20) / 8),
+      window_(machine, 1 << 14),
+      output_(machine, (1 << 20) / 8),
+      func_{machine.registry().Intern("deflate_block", "gzip_like.cc:200")} {
+  Core& core = machine.core(0);
+  Xoshiro256 rng(machine.config().seed ^ 0x921);
+  for (uint64_t i = 0; i < input_.size(); ++i) {
+    input_.Set(core, i, rng.Below(64));  // compressible-ish input
+  }
+}
+
+void CompressProxy::Run(Core& core) {
+  ScopedFunction f(core, func_);
+  uint64_t out_pos = 0;
+  uint64_t hash = 0;
+  for (uint64_t i = 0; i < input_.size(); ++i) {
+    const uint64_t word = input_.Get(core, i);
+    hash = (hash * 33 + word) & (window_.size() - 1);
+    // Dictionary probe: two reads per input word.
+    const uint64_t candidate = window_.Get(core, hash);
+    core.Execute(6);  // match-length comparison
+    if (candidate != word) {
+      // Literal: occasional output write (~1 write per 8 reads).
+      if ((i & 7) == 0) {
+        output_.Set(core, out_pos % output_.size(), word);
+        ++out_pos;
+      }
+    }
+    if ((i & 15) == 0) {
+      window_.Set(core, hash, word);
+    }
+  }
+}
+
+std::vector<std::unique_ptr<ProxyWorkload>> MakeAllProxies(Machine& machine) {
+  std::vector<std::unique_ptr<ProxyWorkload>> out;
+  out.push_back(std::make_unique<StreamReadProxy>(machine));
+  out.push_back(std::make_unique<RayTraceProxy>(machine));
+  out.push_back(std::make_unique<CompressProxy>(machine));
+  return out;
+}
+
+}  // namespace prestore

@@ -1,0 +1,69 @@
+// Read-mostly proxy workloads standing in for the Phoronix applications the
+// paper classifies as NOT write-intensive in Table 2 (pytorch, numpy, lzma,
+// c-ray, gzip, ...). They exist to exercise DirtBuster's step-1 negative
+// filter: each spends well under 10% of its instructions on stores.
+#ifndef SRC_PROXY_PROXIES_H_
+#define SRC_PROXY_PROXIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/array.h"
+#include "src/sim/core.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+class ProxyWorkload {
+ public:
+  virtual ~ProxyWorkload() = default;
+  virtual const char* name() const = 0;
+  virtual void Run(Core& core) = 0;
+};
+
+// "stream-read": numpy/pytorch-inference-like — streaming reductions over
+// large arrays.
+class StreamReadProxy : public ProxyWorkload {
+ public:
+  explicit StreamReadProxy(Machine& machine);
+  const char* name() const override { return "stream-read"; }
+  void Run(Core& core) override;
+
+ private:
+  SimArray<double> data_;
+  FuncToken func_;
+};
+
+// "ray-trace": c-ray-like — compute-dominated with tiny framebuffer writes.
+class RayTraceProxy : public ProxyWorkload {
+ public:
+  explicit RayTraceProxy(Machine& machine);
+  const char* name() const override { return "ray-trace"; }
+  void Run(Core& core) override;
+
+ private:
+  Machine& machine_;
+  SimArray<uint64_t> framebuffer_;
+  FuncToken func_;
+};
+
+// "compress": gzip/lzma-like — dictionary lookups (reads) with sparse
+// literal output.
+class CompressProxy : public ProxyWorkload {
+ public:
+  explicit CompressProxy(Machine& machine);
+  const char* name() const override { return "compress"; }
+  void Run(Core& core) override;
+
+ private:
+  Machine& machine_;
+  SimArray<uint64_t> input_, window_, output_;
+  FuncToken func_;
+};
+
+std::vector<std::unique_ptr<ProxyWorkload>> MakeAllProxies(Machine& machine);
+
+}  // namespace prestore
+
+#endif  // SRC_PROXY_PROXIES_H_

@@ -1,0 +1,81 @@
+// Typed views over simulated memory: convenience wrappers so workloads read
+// like ordinary array code while every access is simulated.
+#ifndef SRC_SIM_ARRAY_H_
+#define SRC_SIM_ARRAY_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "src/sim/core.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+// A fixed-size array of T in simulated memory. T must be trivially copyable
+// and 4/8-byte sized for the fast paths; other sizes go through MemCopy.
+template <typename T>
+class SimArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SimArray() = default;
+
+  SimArray(Machine& machine, uint64_t count,
+           Region region = Region::kTarget, uint64_t align = 0)
+      : base_(machine.Alloc(count * sizeof(T), region, align)), count_(count) {}
+
+  SimAddr base() const { return base_; }
+  uint64_t size() const { return count_; }
+  uint64_t bytes() const { return count_ * sizeof(T); }
+  SimAddr AddrOf(uint64_t i) const { return base_ + i * sizeof(T); }
+
+  T Get(Core& core, uint64_t i) const {
+    if constexpr (sizeof(T) == 8) {
+      const uint64_t raw = core.LoadU64(AddrOf(i));
+      T v;
+      __builtin_memcpy(&v, &raw, 8);
+      return v;
+    } else if constexpr (sizeof(T) == 4) {
+      const uint32_t raw = core.LoadU32(AddrOf(i));
+      T v;
+      __builtin_memcpy(&v, &raw, 4);
+      return v;
+    } else {
+      T v;
+      core.MemCopyFromSim(&v, AddrOf(i), sizeof(T));
+      return v;
+    }
+  }
+
+  void Set(Core& core, uint64_t i, const T& v) {
+    if constexpr (sizeof(T) == 8) {
+      uint64_t raw;
+      __builtin_memcpy(&raw, &v, 8);
+      core.StoreU64(AddrOf(i), raw);
+    } else if constexpr (sizeof(T) == 4) {
+      uint32_t raw;
+      __builtin_memcpy(&raw, &v, 4);
+      core.StoreU32(AddrOf(i), raw);
+    } else {
+      core.MemCopyToSim(AddrOf(i), &v, sizeof(T));
+    }
+  }
+
+  // Non-temporal (cache-skipping) element store.
+  void SetNt(Core& core, uint64_t i, const T& v) {
+    core.StoreNt(AddrOf(i), &v, sizeof(T));
+  }
+
+  // Pre-store the element range [first, first+n).
+  void Prestore(Core& core, uint64_t first, uint64_t n, PrestoreOp op) {
+    core.Prestore(AddrOf(first), n * sizeof(T), op);
+  }
+
+ private:
+  SimAddr base_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_SIM_ARRAY_H_

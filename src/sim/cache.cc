@@ -1,0 +1,239 @@
+#include "src/sim/cache.h"
+
+#include <cassert>
+
+#include "src/util/rng.h"
+
+namespace prestore {
+
+SetAssocCache::SetAssocCache(const CacheConfig& config, uint64_t seed)
+    : config_(config), num_sets_(config.NumSets()) {
+  assert(num_sets_ > 0 && "cache must hold at least one set");
+  lines_.resize(num_sets_ * config_.ways);
+  plru_bits_.assign(num_sets_, 0);
+  set_stamp_.assign(num_sets_, 0);
+  set_rng_.resize(num_sets_);
+  SplitMix64 sm(seed);
+  for (auto& s : set_rng_) {
+    s = sm.Next() | 1;
+  }
+}
+
+CacheLineMeta* SetAssocCache::Probe(uint64_t line_addr) {
+  const uint64_t set = SetIndexOf(line_addr);
+  CacheLineMeta* base = SetBase(set);
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].line_addr == line_addr) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const CacheLineMeta* SetAssocCache::Probe(uint64_t line_addr) const {
+  return const_cast<SetAssocCache*>(this)->Probe(line_addr);
+}
+
+CacheLineMeta* SetAssocCache::Touch(uint64_t line_addr) {
+  const uint64_t set = SetIndexOf(line_addr);
+  CacheLineMeta* base = SetBase(set);
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].line_addr == line_addr) {
+      TouchWay(set, w);
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+void SetAssocCache::TouchWay(uint64_t set, uint32_t way) {
+  CacheLineMeta& line = SetBase(set)[way];
+  switch (config_.policy) {
+    case ReplacementPolicy::kLru:
+      line.stamp = ++set_stamp_[set];
+      break;
+    case ReplacementPolicy::kTreePlru:
+      PlruTouch(set, way);
+      break;
+    case ReplacementPolicy::kQuadAge:
+      line.age = 0;
+      break;
+    case ReplacementPolicy::kFifo:
+    case ReplacementPolicy::kRandom:
+      break;  // hits do not update replacement state
+  }
+}
+
+uint64_t SetAssocCache::NextRand(uint64_t set) {
+  // xorshift64: cheap per-set deterministic randomness for victim choice.
+  uint64_t x = set_rng_[set];
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  set_rng_[set] = x;
+  return x;
+}
+
+void SetAssocCache::PlruTouch(uint64_t set, uint32_t way) {
+  // Classic binary-tree pseudo-LRU: flip internal nodes to point away from
+  // the touched way. Node 1 is the root; leaves correspond to ways.
+  uint64_t bits = plru_bits_[set];
+  uint32_t node = 1;
+  uint32_t span = config_.ways;
+  while (span > 1) {
+    span /= 2;
+    const bool right = (way % (span * 2)) >= span;
+    if (right) {
+      bits |= (1ULL << node);  // 1 = "left is older"
+    } else {
+      bits &= ~(1ULL << node);
+    }
+    node = node * 2 + (right ? 1 : 0);
+  }
+  plru_bits_[set] = bits;
+}
+
+uint32_t SetAssocCache::PlruVictim(uint64_t set) const {
+  const uint64_t bits = plru_bits_[set];
+  uint32_t node = 1;
+  uint32_t way = 0;
+  uint32_t span = config_.ways;
+  while (span > 1) {
+    span /= 2;
+    const bool go_right = (bits & (1ULL << node)) == 0;
+    if (go_right) {
+      way += span;
+    }
+    node = node * 2 + (go_right ? 1 : 0);
+  }
+  return way;
+}
+
+uint32_t SetAssocCache::PickVictim(uint64_t set) {
+  CacheLineMeta* base = SetBase(set);
+  // Invalid ways first.
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      return w;
+    }
+  }
+  switch (config_.policy) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      uint32_t victim = 0;
+      for (uint32_t w = 1; w < config_.ways; ++w) {
+        if (base[w].stamp < base[victim].stamp) {
+          victim = w;
+        }
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kTreePlru:
+      return PlruVictim(set);
+    case ReplacementPolicy::kRandom:
+      return static_cast<uint32_t>(NextRand(set) % config_.ways);
+    case ReplacementPolicy::kQuadAge: {
+      // Intel-style pseudo-LRU: pick randomly among the oldest (age 3) lines;
+      // if none has reached age 3, age every line until one does. This is
+      // what makes evictions look "random" to software (§4.1).
+      while (true) {
+        uint32_t candidates[64];
+        uint32_t n = 0;
+        for (uint32_t w = 0; w < config_.ways; ++w) {
+          if (base[w].age >= 3) {
+            candidates[n++] = w;
+          }
+        }
+        if (n > 0) {
+          return candidates[NextRand(set) % n];
+        }
+        for (uint32_t w = 0; w < config_.ways; ++w) {
+          ++base[w].age;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+SetAssocCache::Victim SetAssocCache::Insert(uint64_t line_addr, bool dirty,
+                                            CacheLineMeta** out_line) {
+  const uint64_t set = SetIndexOf(line_addr);
+  const uint32_t way = PickVictim(set);
+  CacheLineMeta& slot = SetBase(set)[way];
+
+  Victim victim;
+  if (slot.valid) {
+    victim.valid = true;
+    victim.line_addr = slot.line_addr;
+    victim.dirty = slot.dirty;
+    victim.owner = slot.owner;
+    victim.sharers = slot.sharers;
+  }
+
+  slot = CacheLineMeta{};
+  slot.line_addr = line_addr;
+  slot.valid = true;
+  slot.dirty = dirty;
+  switch (config_.policy) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo:
+      slot.stamp = ++set_stamp_[set];
+      break;
+    case ReplacementPolicy::kTreePlru:
+      PlruTouch(set, way);
+      break;
+    case ReplacementPolicy::kQuadAge:
+      slot.age = 1;  // inserted slightly aged, re-referenced lines go to 0
+      break;
+    case ReplacementPolicy::kRandom:
+      break;
+  }
+  if (out_line != nullptr) {
+    *out_line = &slot;
+  }
+  return victim;
+}
+
+bool SetAssocCache::Remove(uint64_t line_addr, CacheLineMeta* was) {
+  CacheLineMeta* line = Probe(line_addr);
+  if (line == nullptr) {
+    return false;
+  }
+  if (was != nullptr) {
+    *was = *line;
+  }
+  *line = CacheLineMeta{};
+  return true;
+}
+
+void SetAssocCache::AgeLine(uint64_t line_addr) {
+  CacheLineMeta* line = Probe(line_addr);
+  if (line == nullptr) {
+    return;
+  }
+  switch (config_.policy) {
+    case ReplacementPolicy::kQuadAge:
+      line->age = 3;
+      break;
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo:
+      line->stamp = 0;
+      break;
+    case ReplacementPolicy::kTreePlru:
+    case ReplacementPolicy::kRandom:
+      break;
+  }
+}
+
+std::vector<uint64_t> SetAssocCache::ValidLines() const {
+  std::vector<uint64_t> out;
+  for (const auto& line : lines_) {
+    if (line.valid) {
+      out.push_back(line.line_addr);
+    }
+  }
+  return out;
+}
+
+}  // namespace prestore

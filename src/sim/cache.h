@@ -1,0 +1,98 @@
+// Set-associative cache model with pluggable replacement policies.
+//
+// The cache stores timing/coherence metadata only — data always lives in the
+// machine's backing host memory (functional-first simulation). Locking is
+// external: Machine shards the LLC by set index; each L1 has its own mutex.
+#ifndef SRC_SIM_CACHE_H_
+#define SRC_SIM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/config.h"
+
+namespace prestore {
+
+inline constexpr uint8_t kNoOwner = 0xff;
+
+struct CacheLineMeta {
+  uint64_t line_addr = 0;  // byte address of the line start
+  bool valid = false;
+  bool dirty = false;
+  // L1-only: the core may write without a coherence action (E/M vs S).
+  bool exclusive = false;
+  // LLC-only directory info for the private L1s above it.
+  uint8_t owner = kNoOwner;  // core holding the line Modified in its L1
+  uint64_t sharers = 0;      // bitmask of cores with an L1 copy
+  // Replacement metadata.
+  uint8_t age = 0;      // kQuadAge
+  uint64_t stamp = 0;   // kLru (last touch) / kFifo (fill order)
+};
+
+class SetAssocCache {
+ public:
+  struct Victim {
+    bool valid = false;
+    uint64_t line_addr = 0;
+    bool dirty = false;
+    uint8_t owner = kNoOwner;
+    uint64_t sharers = 0;
+  };
+
+  SetAssocCache(const CacheConfig& config, uint64_t seed);
+
+  uint64_t SetIndexOf(uint64_t line_addr) const {
+    return (line_addr / config_.line_size) % num_sets_;
+  }
+
+  // Probe without updating replacement state. Returns nullptr on miss.
+  CacheLineMeta* Probe(uint64_t line_addr);
+  const CacheLineMeta* Probe(uint64_t line_addr) const;
+
+  // Probe and, on a hit, mark the line most-recently-used.
+  CacheLineMeta* Touch(uint64_t line_addr);
+
+  // Allocates a line (which must not be present). Returns the evicted victim,
+  // if any. The returned reference `out_line` points at the new line's meta.
+  Victim Insert(uint64_t line_addr, bool dirty, CacheLineMeta** out_line);
+
+  // Invalidates the line if present. Returns true if it was present (and
+  // fills `was` with its pre-invalidation metadata when non-null).
+  bool Remove(uint64_t line_addr, CacheLineMeta* was = nullptr);
+
+  // Marks a present line as aged (demoted lines should leave soon but the
+  // paper's ops keep data cached, so we only age, never invalidate).
+  void AgeLine(uint64_t line_addr);
+
+  const CacheConfig& config() const { return config_; }
+  uint64_t num_sets() const { return num_sets_; }
+
+  // Enumerate valid lines (diagnostics / tests).
+  std::vector<uint64_t> ValidLines() const;
+
+ private:
+  CacheLineMeta* SetBase(uint64_t set) { return &lines_[set * config_.ways]; }
+  const CacheLineMeta* SetBase(uint64_t set) const {
+    return &lines_[set * config_.ways];
+  }
+
+  void TouchWay(uint64_t set, uint32_t way);
+  uint32_t PickVictim(uint64_t set);
+
+  // Tree-PLRU helpers (ways must be a power of two).
+  void PlruTouch(uint64_t set, uint32_t way);
+  uint32_t PlruVictim(uint64_t set) const;
+
+  uint64_t NextRand(uint64_t set);
+
+  CacheConfig config_;
+  uint64_t num_sets_;
+  std::vector<CacheLineMeta> lines_;
+  std::vector<uint64_t> plru_bits_;   // one word per set
+  std::vector<uint64_t> set_stamp_;   // per-set monotonic counter
+  std::vector<uint64_t> set_rng_;     // per-set xorshift state
+};
+
+}  // namespace prestore
+
+#endif  // SRC_SIM_CACHE_H_

@@ -1,0 +1,513 @@
+#include "src/sim/core.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <cassert>
+
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+namespace {
+constexpr uint64_t kFenceIssueCost = 5;
+constexpr uint64_t kStoreIssueCost = 1;
+}  // namespace
+
+Core::Core(Machine* machine, uint8_t id, const MachineConfig& config)
+    : machine_(machine), id_(id), config_(config), l1_(config.l1, config.seed ^ (0x17ULL * id + 3)) {}
+
+void Core::Emit(TraceKind kind, SimAddr addr, uint32_t size) {
+  TraceSink* sink = machine_->trace_sink();
+  if (sink == nullptr) {
+    return;
+  }
+  sink->Record(TraceRecord{kind, id_, size, addr, icount_, CurrentFunc(),
+                           cur_chain_});
+}
+
+void Core::PushFunc(FuncToken token) {
+  const uint32_t parent = cur_chain_;
+  fstack_.push_back(token.id);
+  chain_stack_.push_back(parent);
+  const uint64_t key = (static_cast<uint64_t>(parent) << 32) | token.id;
+  auto it = chain_cache_.find(key);
+  if (it == chain_cache_.end()) {
+    cur_chain_ = machine_->registry().InternChain(fstack_);
+    chain_cache_.emplace(key, cur_chain_);
+  } else {
+    cur_chain_ = it->second;
+  }
+}
+
+void Core::PopFunc() {
+  assert(!fstack_.empty());
+  fstack_.pop_back();
+  cur_chain_ = chain_stack_.back();
+  chain_stack_.pop_back();
+}
+
+// ---- Store buffer ----
+
+bool Core::SbContains(uint64_t line_addr) const {
+  return std::find(sb_.begin(), sb_.end(), line_addr) != sb_.end();
+}
+
+void Core::SbRemove(uint64_t line_addr) {
+  auto it = std::find(sb_.begin(), sb_.end(), line_addr);
+  if (it != sb_.end()) {
+    sb_.erase(it);
+  }
+}
+
+void Core::SbInsert(uint64_t line_addr) {
+  if (sb_.size() >= config_.store_buffer_entries) {
+    // Capacity pressure: the oldest private store is published in the
+    // background (§4.2: CPUs advertise writes "when they run out of private
+    // buffer space").
+    const uint64_t oldest = sb_.front();
+    sb_.pop_front();
+    ++stats_.sb_capacity_drains;
+    PushBg(machine_->PublishLine(id_, oldest, now_));
+  }
+  sb_.push_back(line_addr);
+}
+
+uint64_t Core::DrainSbAll(uint64_t start) {
+  if (sb_.empty()) {
+    return start;
+  }
+  // Publications at a fence proceed with limited overlap: entry i may start
+  // only once entry i-P has completed (P = fence_drain_parallelism).
+  const uint32_t p = std::max(1u, config_.fence_drain_parallelism);
+  std::vector<uint64_t> completions;
+  completions.reserve(sb_.size());
+  uint64_t max_completion = start;
+  size_t i = 0;
+  for (uint64_t line : sb_) {
+    uint64_t s = start;
+    if (i >= p) {
+      s = std::max(s, completions[i - p]);
+    }
+    const uint64_t c = machine_->PublishLine(id_, line, s);
+    completions.push_back(c);
+    max_completion = std::max(max_completion, c);
+    ++i;
+  }
+  sb_.clear();
+  return max_completion;
+}
+
+// ---- Background / write-combining queues ----
+
+uint64_t Core::WaitAll(std::deque<uint64_t>& q, uint64_t t) {
+  for (uint64_t c : q) {
+    t = std::max(t, c);
+  }
+  q.clear();
+  return t;
+}
+
+uint64_t Core::WaitAllWc(uint64_t t) {
+  for (const WcEntry& e : wc_) {
+    t = std::max(t, e.completion);
+  }
+  wc_.clear();
+  return t;
+}
+
+void Core::PushBg(uint64_t completion) {
+  while (!bg_.empty() && bg_.front() <= now_) {
+    bg_.pop_front();
+  }
+  bg_.push_back(completion);
+  while (bg_.size() > config_.max_background_ops) {
+    if (bg_.front() > now_) {
+      stats_.cycles_bg_wait += bg_.front() - now_;
+      now_ = bg_.front();
+    }
+    bg_.pop_front();
+  }
+}
+
+void Core::PushWc(uint64_t line_addr, uint64_t completion) {
+  while (!wc_.empty() && wc_.front().completion <= now_) {
+    wc_.pop_front();
+  }
+  wc_.push_back(WcEntry{line_addr, completion});
+  while (wc_.size() > config_.wc_buffer_entries) {
+    if (wc_.front().completion > now_) {
+      stats_.cycles_wc_wait += wc_.front().completion - now_;
+      now_ = wc_.front().completion;
+    }
+    wc_.pop_front();
+  }
+}
+
+bool Core::WaitPendingWriteback(uint64_t line_addr) {
+  bool found = false;
+  for (auto it = wc_.begin(); it != wc_.end();) {
+    if (it->line_addr == line_addr) {
+      if (it->completion > now_) {
+        stats_.cycles_wb_pending += it->completion - now_;
+        now_ = it->completion;
+      }
+      it = wc_.erase(it);
+      found = true;
+    } else {
+      ++it;
+    }
+  }
+  return found;
+}
+
+// ---- L1 fill ----
+
+void Core::FillL1(uint64_t line_addr, bool exclusive, bool dirty) {
+  SetAssocCache::Victim victim;
+  {
+    std::lock_guard<std::mutex> lock(l1_mu_);
+    CacheLineMeta* present = l1_.Touch(line_addr);
+    if (present != nullptr) {
+      present->exclusive = present->exclusive || exclusive;
+      present->dirty = present->dirty || dirty;
+      return;
+    }
+    CacheLineMeta* meta = nullptr;
+    SetAssocCache::Victim v = l1_.Insert(line_addr, dirty, &meta);
+    meta->exclusive = exclusive;
+    victim = v;
+  }
+  if (victim.valid) {
+    machine_->L1VictimWriteback(id_, victim.line_addr, victim.dirty, now_);
+  }
+}
+
+// ---- Per-line timing paths ----
+
+void Core::LineLoad(uint64_t line_addr) {
+  {
+    std::lock_guard<std::mutex> lock(l1_mu_);
+    if (l1_.Touch(line_addr) != nullptr) {
+      ++stats_.l1_hits;
+      now_ += config_.l1.hit_latency;
+      return;
+    }
+  }
+  if (SbContains(line_addr)) {
+    // Store-to-load forwarding from the private buffer.
+    ++stats_.sb_forwards;
+    now_ += kStoreIssueCost;
+    return;
+  }
+  // A line with an in-flight writeback and no cached copy (the non-temporal
+  // store case — §7.2.1 "skipping the cache doubles the time spent loading
+  // the value of the previously written packet") must wait for the
+  // writeback before it can be read back — and the prefetcher cannot have
+  // fetched it (it was not in memory yet), so no stream discount either.
+  const bool was_in_flight =
+      WaitPendingWriteback(line_addr) || RecentlyNtWritten(line_addr);
+  ++stats_.l1_misses;
+  bool streamed = false;
+  if (!was_in_flight) {
+    for (size_t i = 0; i < kMissStreams; ++i) {
+      if (miss_streams_[i] + config_.line_size == line_addr) {
+        miss_streams_[i] = line_addr;  // stream advances in place
+        streamed = true;
+        break;
+      }
+    }
+    if (!streamed) {
+      miss_streams_[next_stream_] = line_addr;
+      next_stream_ = (next_stream_ + 1) % kMissStreams;
+    }
+  }
+  const uint64_t before = now_;
+  now_ = machine_->LlcAccess(id_, line_addr, Machine::AccessMode::kRead, now_,
+                             streamed);
+  stats_.cycles_load_miss += now_ - before;
+  FillL1(line_addr, /*exclusive=*/false, /*dirty=*/false);
+}
+
+void Core::LineStore(uint64_t line_addr) {
+  WaitPendingWriteback(line_addr);
+  {
+    std::lock_guard<std::mutex> lock(l1_mu_);
+    CacheLineMeta* meta = l1_.Touch(line_addr);
+    if (meta != nullptr && meta->exclusive) {
+      meta->dirty = true;
+      now_ += kStoreIssueCost;
+      return;
+    }
+  }
+  now_ += kStoreIssueCost;
+  if (config_.drain == StoreDrainPolicy::kEagerTso) {
+    // TSO: the store becomes globally visible eagerly, in the background
+    // (read-for-ownership overlapped via the background-op window).
+    const uint64_t completion = machine_->PublishLine(id_, line_addr, now_);
+    stats_.publish_latency_sum += completion - now_;
+    ++stats_.publishes;
+    PushBg(completion);
+  } else {
+    // Weak ordering: the write stays private until something forces it out.
+    if (!SbContains(line_addr)) {
+      SbInsert(line_addr);
+    }
+  }
+}
+
+void Core::TimedAccess(SimAddr addr, size_t size, bool is_store) {
+  const uint64_t ls = config_.line_size;
+  SimAddr a = addr;
+  size_t remaining = size;
+  while (remaining > 0) {
+    const uint64_t line = LineBase(a, ls);
+    const size_t in_line =
+        std::min<size_t>(remaining, line + ls - a);
+    if (is_store) {
+      ++stats_.stores;
+      LineStore(line);
+      Emit(TraceKind::kStore, a, static_cast<uint32_t>(in_line));
+    } else {
+      ++stats_.loads;
+      LineLoad(line);
+      Emit(TraceKind::kLoad, a, static_cast<uint32_t>(in_line));
+    }
+    icount_ += std::max<size_t>(1, in_line / 8);
+    a += in_line;
+    remaining -= in_line;
+  }
+}
+
+// ---- Data operations ----
+
+uint64_t Core::LoadU64(SimAddr addr) {
+  uint64_t v;
+  std::memcpy(&v, machine_->HostPtr(addr), 8);
+  TimedAccess(addr, 8, /*is_store=*/false);
+  return v;
+}
+
+uint32_t Core::LoadU32(SimAddr addr) {
+  uint32_t v;
+  std::memcpy(&v, machine_->HostPtr(addr), 4);
+  TimedAccess(addr, 4, /*is_store=*/false);
+  return v;
+}
+
+void Core::StoreU64(SimAddr addr, uint64_t value) {
+  std::memcpy(machine_->HostPtr(addr), &value, 8);
+  TimedAccess(addr, 8, /*is_store=*/true);
+}
+
+void Core::StoreU32(SimAddr addr, uint32_t value) {
+  std::memcpy(machine_->HostPtr(addr), &value, 4);
+  TimedAccess(addr, 4, /*is_store=*/true);
+}
+
+double Core::LoadF64(SimAddr addr) {
+  double v;
+  std::memcpy(&v, machine_->HostPtr(addr), 8);
+  TimedAccess(addr, 8, /*is_store=*/false);
+  return v;
+}
+
+void Core::StoreF64(SimAddr addr, double value) {
+  std::memcpy(machine_->HostPtr(addr), &value, 8);
+  TimedAccess(addr, 8, /*is_store=*/true);
+}
+
+void Core::MemCopyToSim(SimAddr dst, const void* src, size_t size) {
+  std::memcpy(machine_->HostPtr(dst), src, size);
+  TimedAccess(dst, size, /*is_store=*/true);
+}
+
+void Core::MemCopyFromSim(void* dst, SimAddr src, size_t size) {
+  std::memcpy(dst, machine_->HostPtr(src), size);
+  TimedAccess(src, size, /*is_store=*/false);
+}
+
+void Core::MemCopySimToSim(SimAddr dst, SimAddr src, size_t size) {
+  std::memmove(machine_->HostPtr(dst), machine_->HostPtr(src), size);
+  TimedAccess(src, size, /*is_store=*/false);
+  TimedAccess(dst, size, /*is_store=*/true);
+}
+
+void Core::MemSet(SimAddr dst, uint8_t byte, size_t size) {
+  std::memset(machine_->HostPtr(dst), byte, size);
+  TimedAccess(dst, size, /*is_store=*/true);
+}
+
+// ---- Ordering ----
+
+void Core::PublishClock() {
+  published_now_.store(now_, std::memory_order_relaxed);
+}
+
+void Core::SpinPause(uint64_t cycles) {
+  ++icount_;
+  const uint64_t target = machine_->ApproxGlobalTime();
+  if (now_ < target) {
+    now_ = std::min(now_ + cycles, target);
+  } else {
+    std::this_thread::yield();
+  }
+  PublishClock();
+}
+
+void Core::Fence() {
+  PublishClock();
+  ++stats_.fences;
+  ++icount_;
+  const uint64_t begin = now_;
+  uint64_t t = DrainSbAll(now_);
+  t = WaitAll(bg_, t);
+  t = WaitAllWc(t);
+  now_ = std::max(now_ + kFenceIssueCost, t);
+  stats_.fence_stall_cycles += now_ - begin;
+  Emit(TraceKind::kFence, 0, 0);
+}
+
+bool Core::CasU64(SimAddr addr, uint64_t& expected, uint64_t desired) {
+  PublishClock();
+  ++stats_.atomics;
+  ++icount_;
+  // Atomics carry fence semantics (§4.2): all private stores publish first.
+  uint64_t t = DrainSbAll(now_);
+  t = WaitAll(bg_, t);
+  t = WaitAllWc(t);
+  now_ = std::max(now_, t);
+  const uint64_t line = machine_->LineBaseOf(addr);
+  now_ = machine_->PublishLine(id_, line, now_) + config_.atomic_latency;
+  Emit(TraceKind::kAtomic, addr, 8);
+  auto* p = reinterpret_cast<uint64_t*>(machine_->HostPtr(addr));
+  return std::atomic_ref<uint64_t>(*p).compare_exchange_strong(
+      expected, desired, std::memory_order_acq_rel);
+}
+
+uint64_t Core::FetchAddU64(SimAddr addr, uint64_t delta) {
+  PublishClock();
+  ++stats_.atomics;
+  ++icount_;
+  uint64_t t = DrainSbAll(now_);
+  t = WaitAll(bg_, t);
+  t = WaitAllWc(t);
+  now_ = std::max(now_, t);
+  const uint64_t line = machine_->LineBaseOf(addr);
+  now_ = machine_->PublishLine(id_, line, now_) + config_.atomic_latency;
+  Emit(TraceKind::kAtomic, addr, 8);
+  auto* p = reinterpret_cast<uint64_t*>(machine_->HostPtr(addr));
+  return std::atomic_ref<uint64_t>(*p).fetch_add(delta,
+                                                 std::memory_order_acq_rel);
+}
+
+uint64_t Core::AtomicLoadU64(SimAddr addr) {
+  PublishClock();
+  const uint64_t line = machine_->LineBaseOf(addr);
+  LineLoad(line);
+  ++stats_.loads;
+  ++icount_;
+  Emit(TraceKind::kLoad, addr, 8);
+  auto* p = reinterpret_cast<uint64_t*>(machine_->HostPtr(addr));
+  return std::atomic_ref<uint64_t>(*p).load(std::memory_order_acquire);
+}
+
+void Core::AtomicStoreU64(SimAddr addr, uint64_t value) {
+  PublishClock();
+  ++stats_.atomics;
+  ++icount_;
+  // Release: prior stores must be visible first.
+  const uint64_t t = DrainSbAll(now_);
+  now_ = std::max(now_, t);
+  const uint64_t line = machine_->LineBaseOf(addr);
+  now_ = machine_->PublishLine(id_, line, now_) + config_.atomic_latency;
+  Emit(TraceKind::kAtomic, addr, 8);
+  auto* p = reinterpret_cast<uint64_t*>(machine_->HostPtr(addr));
+  std::atomic_ref<uint64_t>(*p).store(value, std::memory_order_release);
+}
+
+// ---- Pre-stores ----
+
+void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
+  if (size == 0) {
+    return;
+  }
+  const uint64_t ls = config_.line_size;
+  const uint64_t first = LineBase(addr, ls);
+  const uint64_t last = LineBase(addr + size - 1, ls);
+  for (uint64_t line = first; line <= last; line += ls) {
+    ++icount_;
+    now_ += kStoreIssueCost;  // issuing a pre-store is ~1 cycle (§5)
+    switch (op) {
+      case PrestoreOp::kDemote: {
+        ++stats_.prestores_demote;
+        if (SbContains(line)) {
+          SbRemove(line);
+          PushBg(machine_->PublishLineDemote(id_, line, now_));
+        } else {
+          bool in_l1 = false;
+          {
+            std::lock_guard<std::mutex> lock(l1_mu_);
+            in_l1 = l1_.Probe(line) != nullptr;
+          }
+          if (in_l1) {
+            PushBg(machine_->PublishLineDemote(id_, line, now_));
+          }
+          // Not in a private buffer and not in L1: nothing to demote.
+        }
+        break;
+      }
+      case PrestoreOp::kClean: {
+        ++stats_.prestores_clean;
+        if (SbContains(line)) {
+          SbRemove(line);
+          // The publication occupies a miss-handling slot; the writeback
+          // occupies a write-combining slot.
+          const uint64_t published = machine_->PublishLine(id_, line, now_);
+          PushBg(published);
+          PushWc(line, machine_->CleanLine(id_, line, published));
+        } else {
+          const uint64_t c = machine_->CleanLine(id_, line, now_);
+          if (c != now_) {
+            PushWc(line, c);
+          }
+        }
+        break;
+      }
+    }
+    Emit(TraceKind::kPrestore, line, static_cast<uint32_t>(ls));
+  }
+}
+
+void Core::StoreNt(SimAddr dst, const void* src, size_t size) {
+  std::memcpy(machine_->HostPtr(dst), src, size);
+  const uint64_t ls = config_.line_size;
+  SimAddr a = dst;
+  size_t remaining = size;
+  while (remaining > 0) {
+    const uint64_t line = LineBase(a, ls);
+    const size_t in_line = std::min<size_t>(remaining, line + ls - a);
+    SbRemove(line);
+    machine_->InvalidateLine(id_, line);
+    if (!RecentlyNtWritten(line)) {
+      recent_nt_[next_nt_] = line;
+      next_nt_ = (next_nt_ + 1) % kRecentNt;
+    }
+    ++stats_.nt_lines;
+    ++stats_.stores;
+    const uint64_t chunk_cost = std::max<size_t>(1, in_line / 8);
+    icount_ += chunk_cost;
+    now_ += chunk_cost;
+    PushWc(line, machine_->DeviceFor(line).Write(
+                     line, static_cast<uint32_t>(in_line), now_));
+    Emit(TraceKind::kNtStore, a, static_cast<uint32_t>(in_line));
+    a += in_line;
+    remaining -= in_line;
+  }
+}
+
+void Core::StoreNtU64(SimAddr dst, uint64_t value) {
+  StoreNt(dst, &value, 8);
+}
+
+}  // namespace prestore

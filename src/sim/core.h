@@ -1,0 +1,265 @@
+// A simulated hardware thread (core): the execution context workloads run on.
+//
+// Functional-first, timing-directed simulation: data moves to/from backing
+// host memory immediately; the cache/store-buffer state machines track where
+// each line *would* be and charge cycles accordingly. Per-core local clocks
+// plus reservation-based shared devices let real std::threads drive multiple
+// cores concurrently.
+#ifndef SRC_SIM_CORE_H_
+#define SRC_SIM_CORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/prestore.h"
+#include "src/sim/cache.h"
+#include "src/sim/config.h"
+#include "src/trace/trace.h"
+
+namespace prestore {
+
+class Machine;
+
+using SimAddr = uint64_t;
+
+struct CoreStats {
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l1_misses = 0;
+  uint64_t sb_forwards = 0;
+  uint64_t fences = 0;
+  uint64_t fence_stall_cycles = 0;
+  uint64_t atomics = 0;
+  uint64_t prestores_demote = 0;
+  uint64_t prestores_clean = 0;
+  uint64_t nt_lines = 0;
+  uint64_t sb_capacity_drains = 0;
+  // Cycle attribution (where the core's clock advanced).
+  uint64_t cycles_bg_wait = 0;    // background-op window full
+  uint64_t cycles_wc_wait = 0;    // write-combining buffer full
+  uint64_t cycles_wb_pending = 0; // store hit a line with in-flight writeback
+  uint64_t cycles_load_miss = 0;  // synchronous load misses
+  uint64_t publish_latency_sum = 0;  // sum of async publication latencies
+  uint64_t publishes = 0;
+};
+
+// Pre-interned function annotation (see FunctionRegistry).
+struct FuncToken {
+  uint32_t id = kInvalidFunc;
+};
+
+class Core {
+ public:
+  Core(Machine* machine, uint8_t id, const MachineConfig& config);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  uint8_t id() const { return id_; }
+  uint64_t now() const { return now_; }
+  uint64_t icount() const { return icount_; }
+  const CoreStats& stats() const { return stats_; }
+  Machine& machine() { return *machine_; }
+
+  // ---- Data operations (functional + timed) ----
+
+  uint64_t LoadU64(SimAddr addr);
+  uint32_t LoadU32(SimAddr addr);
+  void StoreU64(SimAddr addr, uint64_t value);
+  void StoreU32(SimAddr addr, uint32_t value);
+  double LoadF64(SimAddr addr);
+  void StoreF64(SimAddr addr, double value);
+
+  void MemCopyToSim(SimAddr dst, const void* src, size_t size);
+  void MemCopyFromSim(void* dst, SimAddr src, size_t size);
+  void MemCopySimToSim(SimAddr dst, SimAddr src, size_t size);
+  void MemSet(SimAddr dst, uint8_t byte, size_t size);
+
+  // Plain ALU work: n instructions, n cycles.
+  void Execute(uint64_t n) {
+    icount_ += n;
+    now_ += n;
+  }
+
+  // Spin-wait pause. A spinning core must not race ahead of the cores doing
+  // real work (its local clock would poison shared-device reservations), so
+  // the pause advances the local clock only up to the fastest *published*
+  // core time; a core already ahead yields the host thread instead.
+  void SpinPause(uint64_t cycles = 30);
+
+  // Lock-free snapshot of this core's clock for cross-thread readers.
+  uint64_t PublishedNow() const {
+    return published_now_.load(std::memory_order_relaxed);
+  }
+
+  // Tracks an eviction writeback this core's access triggered. The per-core
+  // queue is bounded: when the device falls behind, the evicting access
+  // stalls (returns the time it may proceed; == start when the queue keeps
+  // up). Per-core so that clock skew between cores cannot masquerade as
+  // queueing.
+  uint64_t NoteEvictionWriteback(uint64_t acceptance, uint64_t start) {
+    while (!ewb_.empty() && ewb_.front() <= start) {
+      ewb_.pop_front();
+    }
+    ewb_.push_back(acceptance);
+    if (ewb_.size() > kEvictionWbDepth) {
+      const uint64_t wait = ewb_.front();
+      ewb_.pop_front();
+      return wait > start ? wait : start;
+    }
+    return start;
+  }
+
+  static constexpr size_t kEvictionWbDepth = 16;
+
+  // ---- Ordering operations ----
+
+  // Full memory fence: publishes all private stores, waits for outstanding
+  // pre-stores and write-combining traffic (paper §4.2).
+  void Fence();
+
+  // Atomics have fence semantics (§4.2: "atomic instructions that force the
+  // CPU to order memory accesses").
+  bool CasU64(SimAddr addr, uint64_t& expected, uint64_t desired);
+  uint64_t FetchAddU64(SimAddr addr, uint64_t delta);
+  uint64_t AtomicLoadU64(SimAddr addr);   // acquire: no store drain
+  void AtomicStoreU64(SimAddr addr, uint64_t value);  // release: drains stores
+
+  // ---- Pre-stores (the paper's contribution, §2) ----
+
+  // Non-blocking hint covering [addr, addr+size). kDemote moves the data out
+  // of private buffers / L1 down to the shared cache; kClean additionally
+  // writes dirty data back to memory. Data stays cached in both cases.
+  void Prestore(SimAddr addr, size_t size, PrestoreOp op);
+
+  // Non-temporal ("skip the cache") store: data goes straight to memory via
+  // the write-combining buffer and is not allocated in the caches.
+  void StoreNt(SimAddr dst, const void* src, size_t size);
+  void StoreNtU64(SimAddr dst, uint64_t value);
+
+  // ---- Annotation (symbolization stand-in for DirtBuster) ----
+
+  void PushFunc(FuncToken token);
+  void PopFunc();
+  uint32_t CurrentFunc() const {
+    return fstack_.empty() ? kInvalidFunc : fstack_.back();
+  }
+  uint32_t CurrentChain() const { return cur_chain_; }
+
+  void ResetStats() { stats_ = CoreStats{}; }
+  void SetNow(uint64_t t) {
+    now_ = t;
+    published_now_.store(t, std::memory_order_relaxed);
+  }
+
+  // Internal: used by Machine for cross-core coherence actions.
+  SetAssocCache& l1() { return l1_; }
+  std::mutex& l1_mu() { return l1_mu_; }
+
+ private:
+  friend class Machine;
+
+  // Per-line timing paths.
+  void LineLoad(uint64_t line_addr);
+  void LineStore(uint64_t line_addr);
+  void TimedAccess(SimAddr addr, size_t size, bool is_store);
+
+  // Store-buffer handling.
+  bool SbContains(uint64_t line_addr) const;
+  void SbInsert(uint64_t line_addr);
+  void SbRemove(uint64_t line_addr);
+  uint64_t DrainSbAll(uint64_t start);  // returns completion
+
+  // Background-op / write-combining bookkeeping.
+  struct WcEntry {
+    uint64_t line_addr;
+    uint64_t completion;
+  };
+  void PushBg(uint64_t completion);
+  void PushWc(uint64_t line_addr, uint64_t completion);
+  uint64_t WaitAll(std::deque<uint64_t>& q, uint64_t t);
+  uint64_t WaitAllWc(uint64_t t);
+  // A store to a line with an in-flight writeback must wait for it (the line
+  // is on its way to memory and has to be re-acquired) — the §5 Listing-3
+  // pitfall cost. Returns true when an in-flight writeback was found.
+  bool WaitPendingWriteback(uint64_t line_addr);
+
+  // L1 fill with victim handling. Caller must NOT hold any lock.
+  void FillL1(uint64_t line_addr, bool exclusive, bool dirty);
+
+  void Emit(TraceKind kind, SimAddr addr, uint32_t size);
+  void PublishClock();
+
+  Machine* machine_;
+  uint8_t id_;
+  const MachineConfig& config_;
+
+  uint64_t now_ = 0;
+  uint64_t icount_ = 0;
+  // Periodically refreshed copy of now_, readable from other threads.
+  std::atomic<uint64_t> published_now_{0};
+
+  SetAssocCache l1_;
+  std::mutex l1_mu_;
+
+  std::deque<uint64_t> sb_;  // private store buffer: line addresses, FIFO
+  std::deque<uint64_t> bg_;  // completion times of async publications
+  std::deque<WcEntry> wc_;   // in-flight clean / NT writebacks
+  std::deque<uint64_t> ewb_; // eviction-writeback acceptance times
+
+  // Streaming detection (hardware-prefetch stand-in): a load miss adjacent
+  // to any tracked stream gets the latency discount. Real prefetchers track
+  // many concurrent streams; 8 covers the multi-array kernels here.
+  static constexpr size_t kMissStreams = 8;
+  uint64_t miss_streams_[kMissStreams] = {};
+  size_t next_stream_ = 0;
+
+  // Lines recently written with non-temporal stores: reading one back
+  // interferes with the write-combining path and is never prefetched, so it
+  // pays the full memory latency (§7.2.1's skip penalty).
+  static constexpr size_t kRecentNt = 256;
+  uint64_t recent_nt_[kRecentNt] = {};
+  size_t next_nt_ = 0;
+  bool RecentlyNtWritten(uint64_t line_addr) const {
+    for (uint64_t l : recent_nt_) {
+      if (l == line_addr) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  CoreStats stats_;
+
+  std::vector<uint32_t> fstack_;
+  uint32_t cur_chain_ = kInvalidChain;
+  std::unordered_map<uint64_t, uint32_t> chain_cache_;
+  std::vector<uint32_t> chain_stack_;  // parallel chain ids for O(1) pop
+};
+
+// RAII function annotation. Mirrors the symbol information DirtBuster gets
+// from perf/PIN on real binaries.
+class ScopedFunction {
+ public:
+  ScopedFunction(Core& core, FuncToken token) : core_(core) {
+    core_.PushFunc(token);
+  }
+  ~ScopedFunction() { core_.PopFunc(); }
+
+  ScopedFunction(const ScopedFunction&) = delete;
+  ScopedFunction& operator=(const ScopedFunction&) = delete;
+
+ private:
+  Core& core_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_SIM_CORE_H_

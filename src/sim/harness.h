@@ -1,0 +1,50 @@
+// Parallel-execution harness: runs a workload body on N simulated cores
+// (driven by N host threads) and reports simulated elapsed cycles.
+#ifndef SRC_SIM_HARNESS_H_
+#define SRC_SIM_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+// Aligns all core clocks, runs fn(core, thread_index) on cores [0, nthreads),
+// and returns the simulated cycle count of the slowest core (the paper's
+// notion of parallel runtime).
+inline uint64_t RunParallel(Machine& machine, uint32_t nthreads,
+                            const std::function<void(Core&, uint32_t)>& fn) {
+  const uint64_t start = machine.AlignCores();
+  if (nthreads <= 1) {
+    fn(machine.core(0), 0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (uint32_t i = 0; i < nthreads; ++i) {
+      threads.emplace_back([&machine, &fn, i] { fn(machine.core(i), i); });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+  uint64_t end = start;
+  for (uint32_t i = 0; i < nthreads; ++i) {
+    end = std::max(end, machine.core(i).now());
+  }
+  return end - start;
+}
+
+// Single-core convenience: returns simulated cycles of fn on core 0.
+inline uint64_t RunOnCore(Machine& machine, const std::function<void(Core&)>& fn) {
+  Core& core = machine.core(0);
+  const uint64_t start = core.now();
+  fn(core);
+  return core.now() - start;
+}
+
+}  // namespace prestore
+
+#endif  // SRC_SIM_HARNESS_H_

@@ -1,0 +1,373 @@
+#include "src/sim/machine.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace prestore {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      dram_(MakeDevice(config.dram)),
+      target_(MakeDevice(config.target)),
+      llc_(std::make_unique<SetAssocCache>(config.llc, config.seed ^ 0x11c)) {
+  assert(config_.l1.line_size == config_.line_size &&
+         config_.llc.line_size == config_.line_size &&
+         "cache line sizes must match the machine line size");
+  dram_backing_.resize(config_.dram_region_bytes);
+  target_backing_.resize(config_.target_region_bytes);
+  cores_.reserve(config_.num_cores);
+  for (uint32_t i = 0; i < config_.num_cores; ++i) {
+    cores_.push_back(
+        std::make_unique<Core>(this, static_cast<uint8_t>(i), config_));
+  }
+}
+
+Machine::~Machine() = default;
+
+SimAddr Machine::Alloc(uint64_t bytes, Region region, uint64_t align) {
+  if (align == 0) {
+    align = config_.line_size;
+  }
+  auto& brk = region == Region::kTarget ? target_brk_ : dram_brk_;
+  const uint64_t limit = region == Region::kTarget ? target_backing_.size()
+                                                   : dram_backing_.size();
+  uint64_t cur = brk.load(std::memory_order_relaxed);
+  uint64_t start = 0;
+  do {
+    start = (cur + align - 1) & ~(align - 1);
+    if (start + bytes > limit) {
+      std::fprintf(stderr, "simulated %s region exhausted (%llu + %llu > %llu)\n",
+                   region == Region::kTarget ? "target" : "dram",
+                   static_cast<unsigned long long>(start),
+                   static_cast<unsigned long long>(bytes),
+                   static_cast<unsigned long long>(limit));
+      std::abort();
+    }
+  } while (!brk.compare_exchange_weak(cur, start + bytes,
+                                      std::memory_order_relaxed));
+  return (region == Region::kTarget ? kTargetBase : kDramBase) + start;
+}
+
+uint8_t* Machine::HostPtr(SimAddr addr) {
+  if (addr >= kTargetBase) {
+    return target_backing_.data() + (addr - kTargetBase);
+  }
+  return dram_backing_.data() + (addr - kDramBase);
+}
+
+const uint8_t* Machine::HostPtr(SimAddr addr) const {
+  return const_cast<Machine*>(this)->HostPtr(addr);
+}
+
+uint64_t Machine::GlobalTime() const {
+  uint64_t t = 0;
+  for (const auto& c : cores_) {
+    t = std::max(t, c->now());
+  }
+  return t;
+}
+
+uint64_t Machine::ApproxGlobalTime() const {
+  uint64_t t = 0;
+  for (const auto& c : cores_) {
+    t = std::max(t, c->PublishedNow());
+  }
+  return t;
+}
+
+uint64_t Machine::AlignCores() {
+  const uint64_t t = GlobalTime();
+  for (auto& c : cores_) {
+    c->SetNow(t);
+  }
+  return t;
+}
+
+void Machine::ResetStats() {
+  hstats_.Reset();
+  dram_->ResetStats();
+  target_->ResetStats();
+  for (auto& c : cores_) {
+    c->ResetStats();
+  }
+}
+
+namespace {
+
+// Streamed (sequential) misses hide most of the device access time behind
+// the previous transfers, standing in for hardware stride prefetching: the
+// prefetcher issued this fetch several lines ago, so both the device
+// latency and most of its queueing are already absorbed. The device meter
+// still carries the full work (bandwidth is conserved); only the streaming
+// requester's experienced wait shrinks.
+uint64_t ApplyStreamDiscount(uint64_t start, uint64_t completion,
+                             uint32_t read_latency, bool streamed) {
+  if (!streamed || completion <= start) {
+    return completion;
+  }
+  const uint64_t total = completion - start;
+  const uint64_t floor = read_latency / 8 + 1;
+  const uint64_t discounted = total / 4 > floor ? total / 4 : floor;
+  return discounted < total ? start + discounted : completion;
+}
+
+}  // namespace
+
+uint64_t Machine::HandleLlcVictimLocked(uint8_t self,
+                                        const SetAssocCache::Victim& victim,
+                                        uint64_t now) {
+  if (!victim.valid) {
+    return now;
+  }
+  hstats_.llc_evictions.fetch_add(1, std::memory_order_relaxed);
+  bool dirty = victim.dirty;
+  uint64_t sharers = victim.sharers;
+  while (sharers != 0) {
+    const int s = __builtin_ctzll(sharers);
+    sharers &= sharers - 1;
+    Core& c = *cores_[s];
+    std::lock_guard<std::mutex> l1_lock(c.l1_mu());
+    CacheLineMeta was;
+    if (c.l1().Remove(victim.line_addr, &was)) {
+      hstats_.back_invalidations.fetch_add(1, std::memory_order_relaxed);
+      if (was.dirty) {
+        dirty = true;
+      }
+    }
+  }
+  if (!dirty) {
+    return now;
+  }
+  // Eviction writeback: off the evicting core's critical path while its
+  // bounded writeback queue has room; once the device falls behind, the
+  // evicting access stalls (the backpressure behind Figure 3).
+  const uint64_t acceptance =
+      DeviceFor(victim.line_addr).Write(victim.line_addr, config_.line_size,
+                                        now);
+  const uint64_t proceed =
+      cores_[self]->NoteEvictionWriteback(acceptance, now);
+  if (proceed > now) {
+    hstats_.wbq_stall_cycles.fetch_add(proceed - now,
+                                       std::memory_order_relaxed);
+  }
+  return proceed;
+}
+
+uint64_t Machine::LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
+                            uint64_t start, bool streamed,
+                            bool incoming_dirty) {
+  Device& dev = DeviceFor(line_addr);
+  const bool far = dev.config().kind == DeviceKind::kFarMemory;
+  uint64_t t = start;
+
+  std::lock_guard<std::mutex> shard_lock(ShardFor(line_addr));
+  CacheLineMeta* meta = llc_->Touch(line_addr);
+  if (meta != nullptr) {
+    hstats_.llc_hits.fetch_add(1, std::memory_order_relaxed);
+    t += config_.llc.hit_latency;
+    const uint8_t prev_owner = meta->owner;
+    if (prev_owner != kNoOwner && prev_owner != self) {
+      // Another core's L1 holds the line Modified: intervene.
+      hstats_.interventions.fetch_add(1, std::memory_order_relaxed);
+      t += config_.snoop_latency;
+      Core& owner = *cores_[prev_owner];
+      std::lock_guard<std::mutex> l1_lock(owner.l1_mu());
+      CacheLineMeta* ol = owner.l1().Probe(line_addr);
+      if (mode == AccessMode::kRead) {
+        if (ol != nullptr) {
+          ol->dirty = false;
+          ol->exclusive = false;
+        }
+      } else {
+        if (ol != nullptr) {
+          owner.l1().Remove(line_addr);
+        }
+        meta->sharers &= ~(1ULL << prev_owner);
+      }
+      meta->dirty = true;  // modified data is now at the LLC level
+      meta->owner = kNoOwner;
+    }
+    if (mode != AccessMode::kRead) {
+      uint64_t others = meta->sharers & ~(1ULL << self);
+      if (others != 0) {
+        t += config_.snoop_latency;
+        while (others != 0) {
+          const int s = __builtin_ctzll(others);
+          others &= others - 1;
+          Core& c = *cores_[s];
+          std::lock_guard<std::mutex> l1_lock(c.l1_mu());
+          c.l1().Remove(line_addr);
+          meta->sharers &= ~(1ULL << s);
+        }
+      }
+      if (far && prev_owner != self) {
+        // Line-state upgrade: the directory lives on the device (§4.2).
+        t = dev.DirectoryAccess(t);
+      }
+    }
+  } else {
+    hstats_.llc_misses.fetch_add(1, std::memory_order_relaxed);
+    // Miss: (for writes to far memory) directory update, then line read.
+    if (mode != AccessMode::kRead && far) {
+      hstats_.dir_upgrades.fetch_add(1, std::memory_order_relaxed);
+      t = dev.DirectoryAccess(t);
+    }
+    const uint64_t read_done = dev.Read(line_addr, config_.line_size, t);
+    t = ApplyStreamDiscount(t, read_done, dev.config().read_latency, streamed);
+    SetAssocCache::Victim victim = llc_->Insert(line_addr, false, &meta);
+    t = std::max(t, HandleLlcVictimLocked(self, victim, start));
+  }
+
+  switch (mode) {
+    case AccessMode::kRead:
+      meta->sharers |= 1ULL << self;
+      break;
+    case AccessMode::kWrite:
+      meta->sharers = 1ULL << self;
+      meta->owner = self;
+      break;
+    case AccessMode::kDemote:
+      meta->sharers &= ~(1ULL << self);
+      meta->owner = kNoOwner;
+      meta->dirty = meta->dirty || incoming_dirty;
+      break;
+  }
+  return t;
+}
+
+uint64_t Machine::PublishLine(uint8_t self, uint64_t line_addr,
+                              uint64_t start) {
+  Core& core = *cores_[self];
+  {
+    std::lock_guard<std::mutex> l1_lock(core.l1_mu());
+    CacheLineMeta* meta = core.l1().Touch(line_addr);
+    if (meta != nullptr && meta->exclusive) {
+      meta->dirty = true;
+      return start + 1;
+    }
+  }
+  const uint64_t t = LlcAccess(self, line_addr, AccessMode::kWrite, start);
+  core.FillL1(line_addr, /*exclusive=*/true, /*dirty=*/true);
+  return t;
+}
+
+uint64_t Machine::PublishLineDemote(uint8_t self, uint64_t line_addr,
+                                    uint64_t start) {
+  Core& core = *cores_[self];
+  bool dirty = true;  // demoted data from the store buffer is modified
+  {
+    std::lock_guard<std::mutex> l1_lock(core.l1_mu());
+    CacheLineMeta was;
+    if (core.l1().Remove(line_addr, &was)) {
+      dirty = was.dirty;
+    }
+  }
+  return LlcAccess(self, line_addr, AccessMode::kDemote, start,
+                   /*streamed=*/false, /*incoming_dirty=*/dirty);
+}
+
+uint64_t Machine::CleanLine(uint8_t self, uint64_t line_addr, uint64_t start) {
+  Core& core = *cores_[self];
+  bool dirty = false;
+  {
+    std::lock_guard<std::mutex> l1_lock(core.l1_mu());
+    CacheLineMeta* meta = core.l1().Probe(line_addr);
+    if (meta != nullptr && meta->dirty) {
+      meta->dirty = false;
+      dirty = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> shard_lock(ShardFor(line_addr));
+    CacheLineMeta* meta = llc_->Probe(line_addr);
+    if (meta != nullptr) {
+      if (meta->owner != kNoOwner && meta->owner != self) {
+        Core& owner = *cores_[meta->owner];
+        std::lock_guard<std::mutex> l1_lock(owner.l1_mu());
+        CacheLineMeta* ol = owner.l1().Probe(line_addr);
+        if (ol != nullptr && ol->dirty) {
+          ol->dirty = false;
+          dirty = true;
+        }
+      }
+      if (meta->dirty) {
+        meta->dirty = false;
+        dirty = true;
+      }
+    }
+  }
+  if (!dirty) {
+    return start;  // cleaning a clean line costs (almost) nothing (§5)
+  }
+  return DeviceFor(line_addr).Write(line_addr, config_.line_size, start);
+}
+
+void Machine::InvalidateLine(uint8_t self, uint64_t line_addr) {
+  {
+    std::lock_guard<std::mutex> shard_lock(ShardFor(line_addr));
+    CacheLineMeta* meta = llc_->Probe(line_addr);
+    if (meta != nullptr) {
+      uint64_t sharers = meta->sharers;
+      while (sharers != 0) {
+        const int s = __builtin_ctzll(sharers);
+        sharers &= sharers - 1;
+        Core& c = *cores_[s];
+        std::lock_guard<std::mutex> l1_lock(c.l1_mu());
+        c.l1().Remove(line_addr);
+      }
+      llc_->Remove(line_addr);
+    }
+  }
+  Core& core = *cores_[self];
+  std::lock_guard<std::mutex> l1_lock(core.l1_mu());
+  core.l1().Remove(line_addr);
+}
+
+void Machine::L1VictimWriteback(uint8_t self, uint64_t line_addr, bool dirty,
+                                uint64_t now) {
+  std::lock_guard<std::mutex> shard_lock(ShardFor(line_addr));
+  CacheLineMeta* meta = llc_->Probe(line_addr);
+  if (meta != nullptr) {
+    meta->sharers &= ~(1ULL << self);
+    if (meta->owner == self) {
+      meta->owner = kNoOwner;
+    }
+    if (dirty) {
+      meta->dirty = true;
+    }
+    return;
+  }
+  if (dirty) {
+    DeviceFor(line_addr).Write(line_addr, config_.line_size, now);
+  }
+}
+
+void Machine::FlushAll() {
+  for (auto& c : cores_) {
+    c->Fence();
+  }
+  const uint64_t now = GlobalTime();
+  for (auto& c : cores_) {
+    std::lock_guard<std::mutex> l1_lock(c->l1_mu());
+    for (uint64_t line : c->l1().ValidLines()) {
+      CacheLineMeta* meta = c->l1().Probe(line);
+      if (meta->dirty) {
+        meta->dirty = false;
+        DeviceFor(line).Write(line, config_.line_size, now);
+      }
+    }
+  }
+  for (uint64_t line : llc_->ValidLines()) {
+    std::lock_guard<std::mutex> shard_lock(ShardFor(line));
+    CacheLineMeta* meta = llc_->Probe(line);
+    if (meta != nullptr && meta->dirty) {
+      meta->dirty = false;
+      DeviceFor(line).Write(line, config_.line_size, now);
+    }
+  }
+  dram_->Drain();
+  target_->Drain();
+}
+
+}  // namespace prestore

@@ -1,0 +1,184 @@
+// The simulated machine: address space, devices, shared LLC, coherence.
+#ifndef SRC_SIM_MACHINE_H_
+#define SRC_SIM_MACHINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/sim/cache.h"
+#include "src/sim/config.h"
+#include "src/sim/core.h"
+#include "src/sim/device.h"
+#include "src/trace/trace.h"
+
+namespace prestore {
+
+// The two address regions. Workloads place their data in kTarget (the memory
+// under study: PMEM on Machine A, FPGA memory on Machine B); kDram exists for
+// completeness and for data the paper keeps in ordinary memory.
+enum class Region : uint8_t {
+  kDram,
+  kTarget,
+};
+
+inline constexpr SimAddr kDramBase = 0x10000;
+inline constexpr SimAddr kTargetBase = 1ULL << 32;
+
+// Shared-hierarchy event counters (relaxed atomics; approximate under
+// concurrency, intended for diagnostics and benchmarks).
+struct MachineStats {
+  std::atomic<uint64_t> llc_hits{0};
+  std::atomic<uint64_t> llc_misses{0};
+  std::atomic<uint64_t> llc_evictions{0};
+  std::atomic<uint64_t> back_invalidations{0};  // L1 lines stripped by LLC
+  std::atomic<uint64_t> interventions{0};       // dirty-owner snoops
+  std::atomic<uint64_t> wbq_stall_cycles{0};    // writeback-queue waits
+  std::atomic<uint64_t> dir_upgrades{0};        // far-memory dir round trips
+
+  void Reset() {
+    llc_hits = 0;
+    llc_misses = 0;
+    llc_evictions = 0;
+    back_invalidations = 0;
+    interventions = 0;
+    wbq_stall_cycles = 0;
+    dir_upgrades = 0;
+  }
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+  Core& core(uint32_t i) { return *cores_[i]; }
+  uint32_t num_cores() const { return static_cast<uint32_t>(cores_.size()); }
+
+  Device& dram() { return *dram_; }
+  Device& target() { return *target_; }
+  Device& DeviceFor(SimAddr addr) {
+    return addr >= kTargetBase ? *target_ : *dram_;
+  }
+
+  // ---- Address space ----
+
+  // Bump-allocates `bytes` in the given region, aligned to `align` (default:
+  // one cache line, to keep separately allocated objects conflict-free).
+  SimAddr Alloc(uint64_t bytes, Region region = Region::kTarget,
+                uint64_t align = 0);
+
+  uint8_t* HostPtr(SimAddr addr);
+  const uint8_t* HostPtr(SimAddr addr) const;
+
+  // ---- Tracing & symbolization ----
+
+  FunctionRegistry& registry() { return registry_; }
+  void SetTraceSink(TraceSink* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
+  TraceSink* trace_sink() const {
+    return sink_.load(std::memory_order_acquire);
+  }
+
+  // ---- Measurement helpers ----
+
+  // Aligns every core's local clock to the global maximum (start of a
+  // measured phase) and returns that time.
+  uint64_t AlignCores();
+  uint64_t GlobalTime() const;
+  // Max over the cores' lock-free published clocks (used by SpinPause; may
+  // lag each core's true clock by up to one ordering operation).
+  uint64_t ApproxGlobalTime() const;
+  void ResetStats();
+
+  // Publishes all private stores, writes every dirty line back and drains
+  // device buffers, so that media-byte accounting covers all traffic.
+  void FlushAll();
+
+  // ---- Coherence (called by Core; do not hold locks when calling) ----
+
+  enum class AccessMode : uint8_t { kRead, kWrite, kDemote };
+
+  // Ensures `line_addr` is present in the LLC with the coherence state the
+  // mode requires, charging directory/device costs. `streamed` applies the
+  // sequential-stream latency discount (hardware-prefetch stand-in).
+  // `incoming_dirty` is used by kDemote to push modified data down.
+  uint64_t LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
+                     uint64_t start, bool streamed = false,
+                     bool incoming_dirty = false);
+
+  // Makes a private store globally visible: line ends up Modified in core
+  // `self`'s L1. Returns completion time. (The §4.2 "publication" cost.)
+  uint64_t PublishLine(uint8_t self, uint64_t line_addr, uint64_t start);
+
+  // Demote pre-store: publication straight into the LLC; the L1 copy (if
+  // any) moves down with its dirtiness.
+  uint64_t PublishLineDemote(uint8_t self, uint64_t line_addr, uint64_t start);
+
+  // Clean pre-store: write the line's dirty data (wherever it is) back to
+  // its device, keeping it cached. Returns writeback completion (== start
+  // when nothing was dirty).
+  uint64_t CleanLine(uint8_t self, uint64_t line_addr, uint64_t start);
+
+  // Invalidate the line everywhere (non-temporal store path). Dirty data is
+  // dropped from the timing model (the NT store supersedes it functionally).
+  void InvalidateLine(uint8_t self, uint64_t line_addr);
+
+  // Handles a dirty line evicted from an L1: merge into LLC or write through
+  // to the device.
+  void L1VictimWriteback(uint8_t self, uint64_t line_addr, bool dirty,
+                         uint64_t now);
+
+  uint64_t LineBaseOf(SimAddr addr) const {
+    return LineBase(addr, config_.line_size);
+  }
+
+  MachineStats& hierarchy_stats() { return hstats_; }
+
+ private:
+  std::mutex& ShardFor(uint64_t line_addr) {
+    return llc_shards_[llc_->SetIndexOf(line_addr) % kNumShards];
+  }
+
+  // Handles an LLC victim under the shard lock: back-invalidates L1 copies
+  // and writes dirty data to the device. Returns the time the evicting
+  // access of core `self` may proceed: eviction writebacks go through the
+  // core's bounded writeback queue, so a device that has fallen behind
+  // stalls the cache (without this, deferred eviction traffic would be free
+  // and the §4.1 write amplification could never cost baseline runtime).
+  uint64_t HandleLlcVictimLocked(uint8_t self,
+                                 const SetAssocCache::Victim& victim,
+                                 uint64_t now);
+
+  static constexpr size_t kNumShards = 64;
+
+  MachineConfig config_;
+  std::unique_ptr<Device> dram_;
+  std::unique_ptr<Device> target_;
+
+  std::unique_ptr<SetAssocCache> llc_;
+  std::vector<std::mutex> llc_shards_{kNumShards};
+
+  std::vector<std::unique_ptr<Core>> cores_;
+
+  std::vector<uint8_t> dram_backing_;
+  std::vector<uint8_t> target_backing_;
+  std::atomic<uint64_t> dram_brk_{0};
+  std::atomic<uint64_t> target_brk_{0};
+
+  MachineStats hstats_;
+  FunctionRegistry registry_;
+  std::atomic<TraceSink*> sink_{nullptr};
+};
+
+}  // namespace prestore
+
+#endif  // SRC_SIM_MACHINE_H_

@@ -1,0 +1,82 @@
+#include "src/tensor/evaluator.h"
+
+namespace prestore {
+
+void TensorEvaluator::EvalPacket(Core& core, Tensor& out, const Tensor& a,
+                                 const Tensor& b, uint64_t i, double alpha) {
+  const uint64_t chunk = kUnroll * kPacketSize;
+  double packet[kPacketSize];
+  for (uint64_t k = 0; k < kPacketSize; ++k) {
+    const double av = a.Get(core, i + k);
+    switch (op_) {
+      case TensorOp::kSum:
+        packet[k] = av + b.Get(core, i + k);
+        break;
+      case TensorOp::kProduct:
+        packet[k] = av * b.Get(core, i + k);
+        break;
+      case TensorOp::kScale:
+        packet[k] = alpha * av;
+        break;
+      case TensorOp::kRecurrent: {
+        // Loads the previously *written* packet of the output — the data
+        // dependence that makes non-temporal stores lose (§7.2.1).
+        const double prev = i + k >= chunk ? out.Get(core, i + k - chunk) : 0.0;
+        packet[k] = av + 0.5 * prev;
+        break;
+      }
+    }
+  }
+  core.Execute(2 * kPacketSize);  // FLOPs of the packet
+  if (policy_ == TensorWritePolicy::kSkip) {
+    core.StoreNt(out.AddrOf(i), packet, sizeof(packet));
+  } else {
+    core.MemCopyToSim(out.AddrOf(i), packet, sizeof(packet));
+  }
+  ++stats_.packets;
+}
+
+void TensorEvaluator::Run(Core& core, Tensor& out, const Tensor& a,
+                          const Tensor& b, double alpha) {
+  ScopedFunction f(core, func_);
+  const uint64_t n = out.size();
+  const uint64_t chunk = kUnroll * kPacketSize;  // 16 doubles = 128B
+  uint64_t i = 0;
+  if (n >= chunk) {
+    const uint64_t last_chunk_offset = n - chunk;
+    for (; i <= last_chunk_offset; i += chunk) {
+      EvalPacket(core, out, a, b, i + 0 * kPacketSize, alpha);
+      EvalPacket(core, out, a, b, i + 1 * kPacketSize, alpha);
+      EvalPacket(core, out, a, b, i + 2 * kPacketSize, alpha);
+      EvalPacket(core, out, a, b, i + 3 * kPacketSize, alpha);
+      if (policy_ == TensorWritePolicy::kClean) {
+        // Listing 4 line 8: one clean pre-store per completed chunk.
+        core.Prestore(out.AddrOf(i), chunk * sizeof(double),
+                      PrestoreOp::kClean);
+      }
+      ++stats_.chunks;
+    }
+  }
+  for (; i < n; ++i) {  // scalar tail
+    double v = 0.0;
+    const double av = a.Get(core, i);
+    switch (op_) {
+      case TensorOp::kSum:
+        v = av + b.Get(core, i);
+        break;
+      case TensorOp::kProduct:
+        v = av * b.Get(core, i);
+        break;
+      case TensorOp::kScale:
+        v = alpha * av;
+        break;
+      case TensorOp::kRecurrent:
+        v = av + (i >= chunk ? 0.5 * out.Get(core, i - chunk) : 0.0);
+        break;
+    }
+    core.Execute(2);
+    out.Set(core, i, v);
+  }
+}
+
+}  // namespace prestore

@@ -1,0 +1,42 @@
+// Mini tensor library over simulated memory — the reproduction's stand-in
+// for the Eigen tensor module used by TensorFlow (§7.2.1).
+#ifndef SRC_TENSOR_TENSOR_H_
+#define SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+
+#include "src/sim/core.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+// How the evaluator's output stores behave — the §7.2.1 comparison.
+enum class TensorWritePolicy : uint8_t {
+  kBaseline,  // plain stores
+  kClean,     // clean pre-store per output line (Listing 4)
+  kSkip,      // non-temporal stores (cache skipping)
+};
+
+// A flat tensor of doubles living in simulated memory.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(Machine& machine, uint64_t count, Region region = Region::kTarget)
+      : base_(machine.Alloc(count * sizeof(double), region)), count_(count) {}
+
+  SimAddr base() const { return base_; }
+  uint64_t size() const { return count_; }
+  uint64_t bytes() const { return count_ * sizeof(double); }
+  SimAddr AddrOf(uint64_t i) const { return base_ + i * sizeof(double); }
+
+  double Get(Core& core, uint64_t i) const { return core.LoadF64(AddrOf(i)); }
+  void Set(Core& core, uint64_t i, double v) { core.StoreF64(AddrOf(i), v); }
+
+ private:
+  SimAddr base_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,99 @@
+#include "src/tensor/training.h"
+
+#include <algorithm>
+
+namespace prestore {
+
+CnnTrainingProxy::CnnTrainingProxy(Machine& machine,
+                                   const TrainingConfig& config)
+    : machine_(machine),
+      config_(config),
+      evaluator_(machine, TensorOp::kRecurrent, config.policy),
+      small_evaluator_(machine, TensorOp::kSum, config.policy),
+      activation_elems_(std::max<uint64_t>(1, config.batch_size) *
+                        config.features),
+      im2col_func_{machine.registry().Intern("im2col_scratch", "conv_ops.cc:88")},
+      sgd_func_{machine.registry().Intern("sgd_update", "training_ops.cc:41")},
+      rng_(machine.config().seed ^ 0x7e50) {
+  activations_.reserve(config.layers + 1);
+  for (uint32_t l = 0; l <= config.layers; ++l) {
+    activations_.emplace_back(machine, activation_elems_);
+  }
+  constexpr uint64_t kSmallElems = 30;  // 240B
+  // Pool 8x the per-layer count so successive layers/steps use fresh
+  // tensors (see the header comment on the rotation).
+  for (uint32_t i = 0; i < 8 * config.small_tensors_per_layer; ++i) {
+    small_in_.emplace_back(machine, kSmallElems);
+    small_out_.emplace_back(machine, kSmallElems);
+  }
+  weights_ = Tensor(machine, config.features * 16);
+  // im2col-like scratch: grows faster than activations with the batch size,
+  // so the evaluator's share of writes shrinks as batches grow (§7.2.1:
+  // 50% of writes at batch <= 50, ~30% above).
+  const double growth =
+      0.6 + static_cast<double>(config.batch_size) / 250.0 * 1.7;
+  scratch_elems_ = static_cast<uint64_t>(
+      static_cast<double>(activation_elems_) * growth) + 1024;
+  scratch_ = machine.Alloc(scratch_elems_ * sizeof(double));
+
+  // Initialize inputs so checksums are meaningful.
+  Core& core = machine.core(0);
+  for (uint64_t i = 0; i < activation_elems_; i += 64) {
+    activations_[0].Set(core, i, static_cast<double>(i % 97) * 0.25);
+  }
+  for (auto& t : small_in_) {
+    for (uint64_t i = 0; i < t.size(); ++i) {
+      t.Set(core, i, 1.0);
+    }
+  }
+}
+
+void CnnTrainingProxy::Step(Core& core) {
+  for (uint32_t l = 0; l < config_.layers; ++l) {
+    // Forward: large sequential output through the templated evaluator.
+    evaluator_.Run(core, activations_[l + 1], activations_[l],
+                   activations_[l]);
+    // Small bias/temp tensors: written by the same templated code and
+    // re-read immediately (the paper's "re-read 2" 240B class).
+    double acc = 0.0;
+    for (uint64_t n = 0; n < config_.small_tensors_per_layer; ++n) {
+      const size_t t = small_cursor_;
+      small_cursor_ = (small_cursor_ + 1) % small_out_.size();
+      small_evaluator_.Run(core, small_out_[t], small_in_[t], small_in_[t]);
+      for (uint64_t i = 0; i < small_out_[t].size(); ++i) {
+        acc += small_out_[t].Get(core, i);
+      }
+    }
+    core.Execute(static_cast<uint64_t>(acc) % 7 + 1);
+  }
+  {
+    // im2col-like scratch: non-sequential writes (a strided transpose) that
+    // the patched function does not cover. DirtBuster finds this function
+    // write-intensive but NOT sequential, so it is left alone (§7.2.1:
+    // patching it "had no effect on performance").
+    ScopedFunction f(core, im2col_func_);
+    const uint64_t stride = 1031;  // prime: scatters lines
+    for (uint64_t i = 0; i < scratch_elems_; ++i) {
+      const uint64_t idx = (i * stride) % scratch_elems_;
+      core.StoreF64(scratch_ + idx * 8, static_cast<double>(i));
+    }
+  }
+  {
+    // Optimizer update: small compared to activations/scratch.
+    ScopedFunction f(core, sgd_func_);
+    for (uint64_t i = 0; i < weights_.size(); ++i) {
+      weights_.Set(core, i, weights_.Get(core, i) * 0.999 + 0.001);
+    }
+  }
+}
+
+double CnnTrainingProxy::Checksum(Core& core) {
+  double sum = 0.0;
+  Tensor& last = activations_[config_.layers];
+  for (uint64_t i = 0; i < last.size(); i += 17) {
+    sum += last.Get(core, i);
+  }
+  return sum;
+}
+
+}  // namespace prestore

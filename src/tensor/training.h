@@ -1,0 +1,71 @@
+// CNN-training-shaped workload: the reproduction of the pts/tensorflow
+// benchmark of §7.2.1.
+//
+// Store profile engineered to match what DirtBuster reported on TensorFlow:
+//  - the templated evaluator writes large activation tensors sequentially
+//    (never re-read within the step) and small 240B bias/temp tensors that
+//    are re-read within ~2 instructions;
+//  - the evaluator accounts for ~half of all memory writes at small batch
+//    sizes and ~a third at large ones (im2col-like scratch traffic grows
+//    faster than activations with the batch size);
+//  - the recurrent data dependence means evalPacket re-loads the packet it
+//    wrote 4*PacketSize elements before, which penalises non-temporal
+//    stores.
+#ifndef SRC_TENSOR_TRAINING_H_
+#define SRC_TENSOR_TRAINING_H_
+
+#include <vector>
+
+#include "src/tensor/evaluator.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace prestore {
+
+struct TrainingConfig {
+  uint32_t batch_size = 16;  // paper sweeps 0..250
+  uint32_t layers = 3;
+  uint64_t features = 16384;  // activation elements per sample per layer
+  uint64_t small_tensors_per_layer = 24;  // 240B bias/temp tensors
+  TensorWritePolicy policy = TensorWritePolicy::kBaseline;
+};
+
+class CnnTrainingProxy {
+ public:
+  CnnTrainingProxy(Machine& machine, const TrainingConfig& config);
+
+  // One training step: forward (activations + small temps through the
+  // evaluator), then backward/optimizer scratch traffic that does not go
+  // through the patched function.
+  void Step(Core& core);
+
+  // Checksum of the last layer's activations (functional regression tests).
+  double Checksum(Core& core);
+
+  uint64_t ActivationElements() const { return activation_elems_; }
+
+ private:
+  Machine& machine_;
+  TrainingConfig config_;
+  TensorEvaluator evaluator_;
+  TensorEvaluator small_evaluator_;
+
+  uint64_t activation_elems_;
+  std::vector<Tensor> activations_;  // one per layer (+input)
+  // Small bias/temp tensors rotate through a pool: like Eigen's fresh
+  // temporaries, each is written once and re-read immediately, not
+  // re-written (the paper's "re-read 2 - re-write inf" 240B class).
+  std::vector<Tensor> small_in_;
+  std::vector<Tensor> small_out_;
+  size_t small_cursor_ = 0;
+  Tensor weights_;
+  SimAddr scratch_ = 0;  // im2col/optimizer scratch (non-sequential writes)
+  uint64_t scratch_elems_ = 0;
+  FuncToken im2col_func_;
+  FuncToken sgd_func_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_TENSOR_TRAINING_H_

@@ -1,0 +1,63 @@
+// Minimal --key=value command-line flag parser for the benchmark binaries.
+#ifndef SRC_UTIL_CLI_H_
+#define SRC_UTIL_CLI_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace prestore {
+
+class CliFlags {
+ public:
+  CliFlags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (arg.rfind("--", 0) != 0) {
+        continue;
+      }
+      arg.remove_prefix(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        flags_[std::string(arg)] = "true";
+      } else {
+        flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = flags_.find(key);
+    if (it == flags_.end()) {
+      return fallback;
+    }
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_UTIL_CLI_H_

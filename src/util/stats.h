@@ -1,0 +1,156 @@
+// Small statistics helpers used by the benchmark harnesses and DirtBuster.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace prestore {
+
+// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t Count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+  void Merge(const RunningStat& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n = static_cast<double>(count_ + other.count_);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / n;
+    mean_ += delta * static_cast<double>(other.count_) / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Collects samples and answers percentile queries. Used for latency reporting.
+class Percentiles {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t Count() const { return samples_.size(); }
+
+  // p in [0, 100]. Nearest-rank method.
+  double At(double p) {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    Sort();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto idx = static_cast<size_t>(rank + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  double Median() { return At(50.0); }
+
+  double Mean() const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (double s : samples_) {
+      sum += s;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+ private:
+  void Sort() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+// Power-of-two bucketed histogram, e.g. for re-read / re-write distances.
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Add(uint64_t value) {
+    ++buckets_[BucketFor(value)];
+    ++count_;
+  }
+
+  uint64_t Count() const { return count_; }
+  uint64_t BucketCount(int bucket) const { return buckets_[bucket]; }
+
+  // Lower bound of the bucket holding `value`.
+  static uint64_t BucketLowerBound(int bucket) {
+    return bucket == 0 ? 0 : 1ULL << (bucket - 1);
+  }
+
+  static int BucketFor(uint64_t value) {
+    if (value == 0) {
+      return 0;
+    }
+    return 64 - __builtin_clzll(value);
+  }
+
+  // Bucket index holding the p-th percentile sample (p in [0, 100]).
+  int PercentileBucket(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    const auto target =
+        static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > target) {
+        return i;
+      }
+    }
+    return kBuckets - 1;
+  }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,87 @@
+// Fixed-width text table printer used by every benchmark harness so that
+// regenerated paper tables/figures share one consistent format.
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace prestore {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  // Appends one row. Accepts any mix of string / integral / floating values.
+  template <typename... Ts>
+  void AddRow(const Ts&... values) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(values));
+    (row.push_back(Format(values)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void Print(std::ostream& os) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintRow(os, headers_, widths);
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) {
+        sep += "+";
+      }
+    }
+    os << sep << "\n";
+    for (const auto& row : rows_) {
+      PrintRow(os, row, widths);
+    }
+  }
+
+  static std::string Format(const std::string& s) { return s; }
+  static std::string Format(const char* s) { return s; }
+
+  static std::string Format(double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << v;
+    return os.str();
+  }
+
+  template <typename T>
+  static std::string Format(T v)
+    requires std::is_integral_v<T>
+  {
+    return std::to_string(v);
+  }
+
+ private:
+  static void PrintRow(std::ostream& os, const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+      if (c + 1 < row.size()) {
+        os << "|";
+      }
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_UTIL_TABLE_H_

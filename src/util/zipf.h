@@ -1,0 +1,77 @@
+// Zipfian key-popularity generator in the style used by YCSB.
+//
+// Produces values in [0, n) where item rank r has probability proportional to
+// 1 / (r+1)^theta. The default theta of 0.99 matches the YCSB default.
+#ifndef SRC_UTIL_ZIPF_H_
+#define SRC_UTIL_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace prestore {
+
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianGenerator(uint64_t n, double theta = kDefaultTheta)
+      : n_(n), theta_(theta), zeta_(Zeta(n, theta)) {
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = Zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zeta_);
+  }
+
+  uint64_t NumItems() const { return n_; }
+
+  // Next zipf-distributed rank in [0, n). Rank 0 is the most popular item.
+  uint64_t Next(Xoshiro256& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zeta_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const auto rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  // YCSB scrambles ranks so that popular items are spread over the keyspace.
+  uint64_t NextScrambled(Xoshiro256& rng) const {
+    return FnvHash64(Next(rng)) % n_;
+  }
+
+  static uint64_t FnvHash64(uint64_t v) {
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+      hash ^= v & 0xff;
+      hash *= 0x100000001b3ULL;
+      v >>= 8;
+    }
+    return hash;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zeta_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_UTIL_ZIPF_H_

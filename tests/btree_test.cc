@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/dirtbuster/btree.h"
+#include "src/util/rng.h"
+
+namespace prestore {
+namespace {
+
+TEST(BTree, EmptyTree) {
+  BTreeMap<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.Find(42), nullptr);
+  EXPECT_FALSE(t.Contains(42));
+}
+
+TEST(BTree, InsertAndFind) {
+  BTreeMap<int> t;
+  t[10] = 100;
+  t[20] = 200;
+  t[5] = 50;
+  EXPECT_EQ(t.size(), 3u);
+  ASSERT_NE(t.Find(10), nullptr);
+  EXPECT_EQ(*t.Find(10), 100);
+  EXPECT_EQ(*t.Find(20), 200);
+  EXPECT_EQ(*t.Find(5), 50);
+  EXPECT_EQ(t.Find(15), nullptr);
+}
+
+TEST(BTree, OperatorBracketUpdatesInPlace) {
+  BTreeMap<int> t;
+  t[7] = 1;
+  t[7] = 2;
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.Find(7), 2);
+}
+
+TEST(BTree, DefaultConstructsMissing) {
+  BTreeMap<int> t;
+  EXPECT_EQ(t[99], 0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTree, InOrderTraversal) {
+  BTreeMap<int> t;
+  for (uint64_t k : {50ULL, 10ULL, 90ULL, 30ULL, 70ULL}) {
+    t[k] = static_cast<int>(k);
+  }
+  std::vector<uint64_t> keys;
+  t.ForEach([&](uint64_t k, const int&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<uint64_t>{10, 30, 50, 70, 90}));
+}
+
+TEST(BTree, SplitsKeepAllKeys) {
+  // Enough keys to force multiple levels with Order = 16.
+  BTreeMap<uint64_t> t;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    t[i * 31] = i;
+  }
+  EXPECT_EQ(t.size(), 5000u);
+  EXPECT_GT(t.Height(), 1);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_NE(t.Find(i * 31), nullptr) << i;
+    EXPECT_EQ(*t.Find(i * 31), i);
+  }
+}
+
+TEST(BTree, HeightStaysLogarithmic) {
+  BTreeMap<uint64_t, 16> t;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    t[i] = i;
+  }
+  // With order 16 and 1e5 keys, a healthy B-tree is <= ~7 levels.
+  EXPECT_LE(t.Height(), 8);
+}
+
+class BTreeRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeRandomized, MatchesStdMapReference) {
+  BTreeMap<uint64_t, 8> t;
+  std::map<uint64_t, uint64_t> ref;
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t k = rng.Below(5000);
+    const uint64_t v = rng.Next();
+    t[k] = v;
+    ref[k] = v;
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(t.Find(k), nullptr) << k;
+    EXPECT_EQ(*t.Find(k), v);
+  }
+  // Traversal yields sorted keys identical to the reference.
+  std::vector<uint64_t> keys;
+  t.ForEach([&](uint64_t k, const uint64_t&) { keys.push_back(k); });
+  std::vector<uint64_t> ref_keys;
+  for (const auto& [k, v] : ref) {
+    (void)v;
+    ref_keys.push_back(k);
+  }
+  EXPECT_EQ(keys, ref_keys);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomized,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+TEST(BTree, SequentialAndReverseInsertion) {
+  BTreeMap<int, 6> asc;
+  BTreeMap<int, 6> desc;
+  for (int i = 0; i < 3000; ++i) {
+    asc[i] = i;
+    desc[3000 - i] = i;
+  }
+  EXPECT_EQ(asc.size(), 3000u);
+  EXPECT_EQ(desc.size(), 3000u);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_NE(asc.Find(i), nullptr);
+    EXPECT_NE(desc.Find(3000 - i), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace prestore

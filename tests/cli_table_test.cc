@@ -1,0 +1,47 @@
+// CLI flag parsing and the HumanBytes report formatter.
+#include <gtest/gtest.h>
+
+#include "src/dirtbuster/dirtbuster.h"
+#include "src/util/cli.h"
+
+namespace prestore {
+namespace {
+
+TEST(Cli, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "--iters=500", "--name=abc", "--flag",
+                        "positional"};
+  CliFlags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("iters", 0), 500);
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+  EXPECT_TRUE(flags.GetBool("flag", false));
+  EXPECT_FALSE(flags.Has("positional"));  // non --key args are ignored
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliFlags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("iters", 42), 42);
+  EXPECT_EQ(flags.GetString("name", "dflt"), "dflt");
+  EXPECT_TRUE(flags.GetBool("b", true));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 1.5), 1.5);
+}
+
+TEST(Cli, DoubleAndBoolParsing) {
+  const char* argv[] = {"prog", "--x=2.25", "--yes=true", "--no=false",
+                        "--one=1"};
+  CliFlags flags(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 0), 2.25);
+  EXPECT_TRUE(flags.GetBool("yes", false));
+  EXPECT_FALSE(flags.GetBool("no", true));
+  EXPECT_TRUE(flags.GetBool("one", false));
+}
+
+TEST(HumanBytes, Formats) {
+  EXPECT_EQ(HumanBytes(0), "0B");
+  EXPECT_EQ(HumanBytes(240), "240B");
+  EXPECT_EQ(HumanBytes(2048), "2.0KB");
+  EXPECT_EQ(HumanBytes(16 << 20 | (200 << 10)), "16.2MB");
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,62 @@
+// Machine preset invariants: the configurations every experiment stands on.
+#include <gtest/gtest.h>
+
+#include "src/sim/config.h"
+
+namespace prestore {
+namespace {
+
+TEST(Presets, MachineAMatchesPaperTable1) {
+  const MachineConfig m = MachineA();
+  EXPECT_EQ(m.line_size, 64u);                          // Intel CPU
+  EXPECT_EQ(m.target.internal_block_size, 256u);        // Optane PMEM
+  EXPECT_EQ(m.target.kind, DeviceKind::kPmem);
+  EXPECT_EQ(m.drain, StoreDrainPolicy::kEagerTso);      // strong x86 model
+  EXPECT_EQ(m.llc.policy, ReplacementPolicy::kQuadAge); // pseudo-LRU (§4.1)
+}
+
+TEST(Presets, MachineBMatchesPaperSection3) {
+  const MachineConfig fast = MachineBFast();
+  const MachineConfig slow = MachineBSlow();
+  EXPECT_EQ(fast.line_size, 128u);  // ThunderX ARM CPU
+  EXPECT_EQ(fast.drain, StoreDrainPolicy::kLazyWeak);
+  EXPECT_EQ(fast.target.kind, DeviceKind::kFarMemory);
+  // Fast: 60 cycles; slow: 200 cycles (§3).
+  EXPECT_EQ(fast.target.read_latency, 60u);
+  EXPECT_EQ(slow.target.read_latency, 200u);
+  // Bandwidth ordering: the fast FPGA moves bytes cheaper.
+  EXPECT_LT(fast.target.cycles_per_byte, slow.target.cycles_per_byte);
+  // Directory on the device, cost scales with its latency (§4.2).
+  EXPECT_EQ(fast.target.directory_latency, 60u);
+  EXPECT_EQ(slow.target.directory_latency, 200u);
+  // In-order cores drain the store buffer serially at fences.
+  EXPECT_EQ(fast.fence_drain_parallelism, 1u);
+}
+
+TEST(Presets, CxlSsdDoublesTheBlockSize) {
+  const MachineConfig m = MachineACxlSsd();
+  EXPECT_EQ(m.target.internal_block_size, 512u);
+  EXPECT_EQ(m.target.internal_block_size / m.line_size, 8u);  // 8x ceiling
+  EXPECT_GT(m.target.read_latency, MachineA().target.read_latency);
+}
+
+TEST(Presets, CachesConsistent) {
+  for (const MachineConfig& m :
+       {MachineA(), MachineBFast(), MachineBSlow(), MachineACxlSsd()}) {
+    EXPECT_EQ(m.l1.line_size, m.line_size) << m.name;
+    EXPECT_EQ(m.llc.line_size, m.line_size) << m.name;
+    EXPECT_GT(m.llc.size_bytes, m.l1.size_bytes) << m.name;
+    EXPECT_GT(m.l1.NumSets(), 0u) << m.name;
+    EXPECT_GT(m.llc.NumSets(), 0u) << m.name;
+    EXPECT_GE(m.num_cores, 1u) << m.name;
+    EXPECT_GE(m.store_buffer_entries, 8u) << m.name;
+  }
+}
+
+TEST(Presets, CoreCountPropagates) {
+  EXPECT_EQ(MachineA(3).num_cores, 3u);
+  EXPECT_EQ(MachineBFast(7).num_cores, 7u);
+}
+
+}  // namespace
+}  // namespace prestore

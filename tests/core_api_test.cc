@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include "src/core/prestore.h"
+
+namespace prestore {
+namespace {
+
+TEST(LineMath, LineBase) {
+  EXPECT_EQ(LineBase(0, 64), 0u);
+  EXPECT_EQ(LineBase(63, 64), 0u);
+  EXPECT_EQ(LineBase(64, 64), 64u);
+  EXPECT_EQ(LineBase(0x12345, 64), 0x12340u);
+  EXPECT_EQ(LineBase(0x12345, 128), 0x12300u);
+}
+
+TEST(LineMath, LinesCovered) {
+  EXPECT_EQ(LinesCovered(0, 0, 64), 0u);
+  EXPECT_EQ(LinesCovered(0, 1, 64), 1u);
+  EXPECT_EQ(LinesCovered(0, 64, 64), 1u);
+  EXPECT_EQ(LinesCovered(0, 65, 64), 2u);
+  EXPECT_EQ(LinesCovered(63, 2, 64), 2u);
+  EXPECT_EQ(LinesCovered(60, 8, 64), 2u);
+  EXPECT_EQ(LinesCovered(128, 256, 128), 2u);
+}
+
+TEST(OpNames, ToStringRoundTrip) {
+  EXPECT_EQ(ToString(PrestoreOp::kDemote), "demote");
+  EXPECT_EQ(ToString(PrestoreOp::kClean), "clean");
+  EXPECT_EQ(ToString(Advice::kNone), "none");
+  EXPECT_EQ(ToString(Advice::kDemote), "demote");
+  EXPECT_EQ(ToString(Advice::kClean), "clean");
+  EXPECT_EQ(ToString(Advice::kSkip), "skip");
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/device.h"
+
+namespace prestore {
+namespace {
+
+DeviceConfig PmemConfig() {
+  DeviceConfig c;
+  c.kind = DeviceKind::kPmem;
+  c.name = "pmem-test";
+  c.read_latency = 170;
+  c.write_latency = 90;
+  c.cycles_per_byte = 0.1;
+  c.internal_block_size = 256;
+  c.internal_buffer_blocks = 4;
+  c.media_cycles_per_byte = 0.5;
+  return c;
+}
+
+TEST(Dram, ReadLatencyAndBandwidth) {
+  DeviceConfig c;
+  c.read_latency = 100;
+  c.cycles_per_byte = 1.0;
+  DramDevice d(c);
+  // First read at t=0: completes at latency + 64 bytes * 1 cpb.
+  EXPECT_EQ(d.Read(0, 64, 0), 164u);
+  // Second read issued at t=0 queues behind the first transfer.
+  EXPECT_EQ(d.Read(64, 64, 0), 64 + 100 + 64u);
+}
+
+TEST(Dram, WriteAmplificationIsOne) {
+  DeviceConfig c;
+  DramDevice d(c);
+  for (int i = 0; i < 100; ++i) {
+    d.Write(i * 64, 64, 0);
+  }
+  const DeviceStats s = d.Stats();
+  EXPECT_EQ(s.bytes_received, 6400u);
+  EXPECT_EQ(s.media_bytes_written, 6400u);
+  EXPECT_DOUBLE_EQ(s.WriteAmplification(), 1.0);
+}
+
+TEST(Dram, StatsCounters) {
+  DeviceConfig c;
+  DramDevice d(c);
+  d.Read(0, 64, 0);
+  d.Read(0, 64, 0);
+  d.Write(0, 64, 0);
+  const DeviceStats s = d.Stats();
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.bytes_read, 128u);
+  d.ResetStats();
+  EXPECT_EQ(d.Stats().reads, 0u);
+}
+
+TEST(Pmem, SequentialWritesCoalesce) {
+  PmemDevice d(PmemConfig());
+  // Write 4 blocks' worth of 64B lines sequentially: every 4 consecutive
+  // lines share a 256B internal block, so amplification must be 1.0 once
+  // drained.
+  for (uint64_t i = 0; i < 64; ++i) {
+    d.Write(i * 64, 64, 0);
+  }
+  d.Drain();
+  const DeviceStats s = d.Stats();
+  EXPECT_EQ(s.bytes_received, 64 * 64u);
+  EXPECT_EQ(s.media_bytes_written, 64 * 64u);
+  EXPECT_DOUBLE_EQ(s.WriteAmplification(), 1.0);
+}
+
+TEST(Pmem, ScatteredWritesAmplify) {
+  PmemDevice d(PmemConfig());
+  // Stride of one internal block: every 64B write lands in a different 256B
+  // block, thrashing the 4-entry buffer -> 4x amplification.
+  for (uint64_t i = 0; i < 256; ++i) {
+    d.Write(i * 256, 64, 0);
+  }
+  d.Drain();
+  const DeviceStats s = d.Stats();
+  EXPECT_DOUBLE_EQ(s.WriteAmplification(), 4.0);
+}
+
+TEST(Pmem, RepeatedWritesToOneBlockCoalesce) {
+  PmemDevice d(PmemConfig());
+  for (int i = 0; i < 1000; ++i) {
+    d.Write(0, 64, 0);
+  }
+  d.Drain();
+  const DeviceStats s = d.Stats();
+  // One block flushed at drain time regardless of how often it was written.
+  EXPECT_EQ(s.media_bytes_written, 256u);
+}
+
+TEST(Pmem, BufferEvictionIsLru) {
+  PmemDevice d(PmemConfig());
+  // Fill the 4-entry buffer with blocks 0..3, touch block 0 again, then
+  // write block 4: block 1 must be flushed (LRU), so a later write to
+  // block 0 still coalesces (no extra media write for it).
+  for (uint64_t b = 0; b < 4; ++b) {
+    d.Write(b * 256, 64, 0);
+  }
+  d.Write(0, 64, 0);        // block 0 -> MRU
+  d.Write(4 * 256, 64, 0);  // evicts block 1
+  const uint64_t media_before = d.Stats().media_bytes_written;
+  EXPECT_EQ(media_before, 256u);  // exactly one eviction so far
+  d.Write(64, 64, 0);  // block 0 again: still buffered, no flush
+  EXPECT_EQ(d.Stats().media_bytes_written, media_before);
+}
+
+TEST(Pmem, AmplificationBoundedByBlockOverLine) {
+  PmemDevice d(PmemConfig());
+  for (uint64_t i = 0; i < 10000; ++i) {
+    // Pathological pseudo-random pattern.
+    d.Write(((i * 2654435761u) % (1 << 20)) & ~63ULL, 64, 0);
+  }
+  d.Drain();
+  EXPECT_LE(d.Stats().WriteAmplification(), 4.0 + 1e-9);
+  EXPECT_GE(d.Stats().WriteAmplification(), 1.0);
+}
+
+TEST(FarMemory, DirectoryAccessCostsLatency) {
+  DeviceConfig c;
+  c.kind = DeviceKind::kFarMemory;
+  c.directory_latency = 200;
+  c.cycles_per_byte = 1.0;
+  FarMemoryDevice d(c);
+  EXPECT_GE(d.DirectoryAccess(1000), 1200u);
+  EXPECT_EQ(d.Stats().directory_accesses, 1u);
+}
+
+TEST(FarMemory, BandwidthSerializesContenders) {
+  DeviceConfig c;
+  c.kind = DeviceKind::kFarMemory;
+  c.read_latency = 60;
+  c.cycles_per_byte = 1.0;
+  FarMemoryDevice d(c);
+  // Ten 128-byte reads all issued at t=0 must serialize on bandwidth:
+  // the last completes no earlier than 10 * 128 cycles of transfer.
+  uint64_t last = 0;
+  for (int i = 0; i < 10; ++i) {
+    last = std::max(last, d.Read(i * 128, 128, 0));
+  }
+  EXPECT_GE(last, 10 * 128u);
+}
+
+TEST(MakeDevice, DispatchesOnKind) {
+  DeviceConfig c;
+  c.kind = DeviceKind::kDram;
+  EXPECT_NE(dynamic_cast<DramDevice*>(MakeDevice(c).get()), nullptr);
+  c.kind = DeviceKind::kPmem;
+  EXPECT_NE(dynamic_cast<PmemDevice*>(MakeDevice(c).get()), nullptr);
+  c.kind = DeviceKind::kFarMemory;
+  EXPECT_NE(dynamic_cast<FarMemoryDevice*>(MakeDevice(c).get()), nullptr);
+}
+
+}  // namespace
+}  // namespace prestore

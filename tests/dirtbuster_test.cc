@@ -1,0 +1,253 @@
+// DirtBuster end-to-end: synthetic workloads with known access patterns must
+// be classified correctly and receive the paper's recommendations.
+#include <gtest/gtest.h>
+
+#include "src/dirtbuster/dirtbuster.h"
+#include "src/sim/harness.h"
+#include "src/sim/machine.h"
+#include "src/util/rng.h"
+
+namespace prestore {
+namespace {
+
+class DirtBusterTest : public ::testing::Test {
+ protected:
+  DirtBusterTest() : machine_(MachineA(2)) {}
+
+  FuncToken Tok(const std::string& name, const std::string& loc) {
+    return FuncToken{machine_.registry().Intern(name, loc)};
+  }
+
+  Machine machine_;
+};
+
+TEST_F(DirtBusterTest, ReadMostlyWorkloadNotWriteIntensive) {
+  const SimAddr data = machine_.Alloc(1 << 20);
+  const FuncToken reader = Tok("reader", "read.cc:1");
+  DirtBuster db(machine_);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = machine_.core(0);
+    ScopedFunction f(core, reader);
+    uint64_t sum = 0;
+    for (int i = 0; i < 200000; ++i) {
+      sum += core.LoadU64(data + (i % 16384) * 64);
+    }
+    (void)sum;
+  });
+  EXPECT_FALSE(report.write_intensive);
+  EXPECT_TRUE(report.functions.empty());  // steps 2-3 skipped (§7.1)
+  EXPECT_EQ(report.OverallAdvice(), Advice::kNone);
+}
+
+TEST_F(DirtBusterTest, SequentialNeverReusedWriterGetsSkip) {
+  const SimAddr data = machine_.Alloc(32 << 20);
+  const FuncToken writer = Tok("bulk_write", "bulk.cc:10");
+  DirtBuster db(machine_);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = machine_.core(0);
+    ScopedFunction f(core, writer);
+    for (uint64_t i = 0; i < (8ULL << 20) / 8; ++i) {
+      core.StoreU64(data + i * 8, i);
+    }
+  });
+  ASSERT_TRUE(report.write_intensive);
+  ASSERT_FALSE(report.functions.empty());
+  const FunctionReport& f = report.functions.front();
+  EXPECT_EQ(f.name, "bulk_write");
+  EXPECT_EQ(f.location, "bulk.cc:10");
+  EXPECT_GT(f.analysis.seq_write_fraction, 0.9);
+  EXPECT_EQ(f.advice, Advice::kSkip);
+  EXPECT_TRUE(report.sequential_writer);
+}
+
+TEST_F(DirtBusterTest, SequentialReReadWriterGetsClean) {
+  const SimAddr data = machine_.Alloc(32 << 20);
+  const FuncToken writer = Tok("write_then_read", "wr.cc:20");
+  DirtBuster db(machine_);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = machine_.core(0);
+    ScopedFunction f(core, writer);
+    constexpr uint64_t kChunk = 4096 / 8;
+    for (uint64_t c = 0; c < 1024; ++c) {
+      const SimAddr base = data + c * 4096;
+      for (uint64_t i = 0; i < kChunk; ++i) {
+        core.StoreU64(base + i * 8, i);
+      }
+      uint64_t sum = 0;
+      for (uint64_t i = 0; i < kChunk; ++i) {
+        sum += core.LoadU64(base + i * 8);  // re-read soon after writing
+      }
+      (void)sum;
+    }
+  });
+  ASSERT_TRUE(report.write_intensive);
+  ASSERT_FALSE(report.functions.empty());
+  EXPECT_EQ(report.functions.front().advice, Advice::kClean);
+}
+
+TEST_F(DirtBusterTest, HotRewrittenLineGetsNone) {
+  // The Listing-3 trap: constantly rewriting the same line, no fences.
+  const SimAddr line = machine_.Alloc(64);
+  const FuncToken writer = Tok("hot_rewrite", "hot.cc:5");
+  DirtBuster db(machine_);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = machine_.core(0);
+    ScopedFunction f(core, writer);
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 100000; ++i) {
+      // Write the same cache line in a non-sequential pattern.
+      core.StoreU64(line + (rng.Below(8)) * 8, i);
+    }
+  });
+  ASSERT_TRUE(report.write_intensive);
+  // Either not sequential enough to qualify, or flagged as rewritten-soon:
+  // in both cases the advice must not be clean/skip.
+  for (const FunctionReport& f : report.functions) {
+    EXPECT_NE(f.advice, Advice::kClean) << f.name;
+    EXPECT_NE(f.advice, Advice::kSkip) << f.name;
+  }
+}
+
+TEST_F(DirtBusterTest, WriteBeforeFenceRewrittenGetsDemote) {
+  // X9-style: fill a reused message buffer, then CAS-publish.
+  const SimAddr msgs = machine_.Alloc(64 * 256);
+  const SimAddr flag = machine_.Alloc(64);
+  const FuncToken fill = Tok("fill_msg", "x9.cc:30");
+  DirtBuster db(machine_);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = machine_.core(0);
+    for (int i = 0; i < 30000; ++i) {
+      const SimAddr m = msgs + (i % 64) * 256;  // buffers reused -> rewritten
+      {
+        ScopedFunction f(core, fill);
+        for (int j = 0; j < 32; ++j) {
+          core.StoreU64(m + j * 8, i + j);
+        }
+      }
+      uint64_t expected = core.LoadU64(flag);
+      core.CasU64(flag, expected, i);  // fence semantics
+    }
+  });
+  ASSERT_TRUE(report.write_intensive);
+  ASSERT_FALSE(report.functions.empty());
+  const FunctionReport& f = report.functions.front();
+  EXPECT_EQ(f.name, "fill_msg");
+  EXPECT_GT(f.analysis.writes_before_fence_fraction, 0.5);
+  EXPECT_EQ(f.advice, Advice::kDemote);
+  EXPECT_TRUE(report.writes_before_fence);
+}
+
+TEST_F(DirtBusterTest, RandomSmallWritesNotRecommended) {
+  // The IS `rank` case (§7.4.2): write-intensive but random small writes,
+  // never re-read: not sequential, no fences -> no pre-store suggested.
+  const SimAddr data = machine_.Alloc(64 << 20);
+  const FuncToken rank = Tok("rank", "is.cc:100");
+  DirtBuster db(machine_);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = machine_.core(0);
+    ScopedFunction f(core, rank);
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 150000; ++i) {
+      core.StoreU64(data + rng.Below((64ULL << 20) / 8) * 8, i);
+    }
+  });
+  ASSERT_TRUE(report.write_intensive);
+  for (const FunctionReport& f : report.functions) {
+    EXPECT_EQ(f.advice, Advice::kNone) << f.name;
+  }
+}
+
+TEST_F(DirtBusterTest, MixedSizeClassesReportedSeparately) {
+  // TensorFlow-shaped store profile (§7.2.1): most writes build large
+  // never-reused outputs; a significant minority goes to small buffers that
+  // are re-read almost immediately. Expected advice: clean, not skip.
+  const SimAddr big = machine_.Alloc(64 << 20);
+  const SimAddr small_region = machine_.Alloc(16 << 20);
+  const FuncToken run = Tok("TensorEvaluator::run", "TensorExecutor.h:272");
+  DirtBuster db(machine_);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = machine_.core(0);
+    ScopedFunction f(core, run);
+    SimAddr big_cursor = big;
+    SimAddr small_cursor = small_region;
+    for (int outer = 0; outer < 400; ++outer) {
+      // Large sequential output chunk (never re-read, never re-written).
+      for (int i = 0; i < 512; ++i) {
+        core.StoreU64(big_cursor, i);
+        big_cursor += 8;
+      }
+      // Several distinct small (240B) tensors, each written once and
+      // re-read immediately (the paper's "re-read 2" class).
+      for (int t = 0; t < 8; ++t) {
+        for (int i = 0; i < 30; ++i) {
+          core.StoreU64(small_cursor + i * 8, i);
+          core.LoadU64(small_cursor + i * 8);
+        }
+        small_cursor += 256;  // separate lines per tensor
+      }
+    }
+  });
+  ASSERT_TRUE(report.write_intensive);
+  ASSERT_FALSE(report.functions.empty());
+  const FunctionReport& f = report.functions.front();
+  EXPECT_GE(f.analysis.classes.size(), 2u);
+  EXPECT_EQ(f.advice, Advice::kClean);
+  // Report text mentions both an "inf" distance class and the function name.
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("TensorEvaluator::run"), std::string::npos);
+  EXPECT_NE(text.find("re-read inf"), std::string::npos);
+  EXPECT_NE(text.find("Pre-store choice: clean"), std::string::npos);
+}
+
+TEST_F(DirtBusterTest, CallchainsReported) {
+  const SimAddr data = machine_.Alloc(16 << 20);
+  const FuncToken outer = Tok("put", "kv.cc:10");
+  const FuncToken inner = Tok("memcpy_like", "libc.cc:1");
+  DirtBuster db(machine_);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = machine_.core(0);
+    for (int i = 0; i < 3000; ++i) {
+      ScopedFunction f1(core, outer);
+      ScopedFunction f2(core, inner);
+      for (int j = 0; j < 128; ++j) {
+        core.StoreU64(data + (i % 1024) * 8192 + j * 8, j);
+      }
+    }
+  });
+  ASSERT_TRUE(report.write_intensive);
+  ASSERT_FALSE(report.functions.empty());
+  const FunctionReport& f = report.functions.front();
+  EXPECT_EQ(f.name, "memcpy_like");
+  ASSERT_FALSE(f.top_callchains.empty());
+  // The callchain identifies the application-level caller (§6.2.1).
+  EXPECT_NE(f.top_callchains.front().find("put"), std::string::npos);
+}
+
+TEST_F(DirtBusterTest, SamplerFindsTheHeaviestWriter) {
+  const SimAddr data = machine_.Alloc(32 << 20);
+  const FuncToken heavy = Tok("heavy_writer", "a.cc:1");
+  const FuncToken light = Tok("light_writer", "b.cc:1");
+  DirtBuster db(machine_);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = machine_.core(0);
+    {
+      ScopedFunction f(core, heavy);
+      for (int i = 0; i < 200000; ++i) {
+        core.StoreU64(data + i * 8, i);
+      }
+    }
+    {
+      ScopedFunction f(core, light);
+      for (int i = 0; i < 5000; ++i) {
+        core.StoreU64(data + (16 << 20) + i * 8, i);
+      }
+    }
+  });
+  ASSERT_TRUE(report.write_intensive);
+  ASSERT_FALSE(report.functions.empty());
+  EXPECT_EQ(report.functions.front().name, "heavy_writer");
+  EXPECT_GT(report.functions.front().store_share, 0.5);
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,89 @@
+// The hardware backend must be safe on whatever CPU runs the test suite:
+// detection must not crash, and every op must degrade gracefully.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/hw/hw_prestore.h"
+
+namespace prestore {
+namespace {
+
+TEST(HwDetect, ReportsPlausibleLineSize) {
+  const HwFeatures& f = DetectHwFeatures();
+  EXPECT_GE(f.cache_line_size, 32u);
+  EXPECT_LE(f.cache_line_size, 256u);
+  // Power of two.
+  EXPECT_EQ(f.cache_line_size & (f.cache_line_size - 1), 0u);
+}
+
+TEST(HwDetect, StableAcrossCalls) {
+  const HwFeatures& a = DetectHwFeatures();
+  const HwFeatures& b = DetectHwFeatures();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(HwPrestore, CleanDoesNotCorruptData) {
+  std::vector<uint64_t> data(1024, 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = i * 3 + 1;
+  }
+  HwPrestore(data.data(), data.size() * 8, PrestoreOp::kClean);
+  HwStoreFence();
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], i * 3 + 1);
+  }
+}
+
+TEST(HwPrestore, DemoteDoesNotCorruptData) {
+  std::vector<uint64_t> data(1024, 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = i ^ 0xdeadbeef;
+  }
+  HwPrestore(data.data(), data.size() * 8, PrestoreOp::kDemote);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], i ^ 0xdeadbeef);
+  }
+}
+
+TEST(HwPrestore, ZeroSizeIsNoop) {
+  int x = 42;
+  HwPrestore(&x, 0, PrestoreOp::kClean);
+  EXPECT_EQ(x, 42);
+}
+
+TEST(HwPrestore, UnalignedRangeCoversAllLines) {
+  std::vector<char> buf(4096, 7);
+  HwPrestore(buf.data() + 13, 1000, PrestoreOp::kClean);
+  for (char c : buf) {
+    EXPECT_EQ(c, 7);
+  }
+}
+
+TEST(HwNonTemporal, CopiesExactBytes) {
+  alignas(64) char dst[512];
+  char src[512];
+  for (int i = 0; i < 512; ++i) {
+    src[i] = static_cast<char>(i * 7);
+    dst[i] = 0;
+  }
+  HwStoreNonTemporal(dst, src, 512);
+  HwStoreFence();
+  EXPECT_EQ(std::memcmp(dst, src, 512), 0);
+}
+
+TEST(HwNonTemporal, HandlesUnalignedAndOddSizes) {
+  alignas(64) char dst[256];
+  char src[256];
+  for (int i = 0; i < 256; ++i) {
+    src[i] = static_cast<char>(255 - i);
+    dst[i] = 0;
+  }
+  HwStoreNonTemporal(dst + 3, src, 131);
+  HwStoreFence();
+  EXPECT_EQ(std::memcmp(dst + 3, src, 131), 0);
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,195 @@
+// BandwidthMeter: the backlog-based reservation primitive every shared
+// device stands on. Its contract — skew tolerance, work conservation,
+// correct pacing — is what keeps multi-core simulations honest.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/sim/device.h"
+
+namespace prestore {
+namespace {
+
+TEST(Meter, NoDelayUnderCapacity) {
+  BandwidthMeter meter;
+  uint64_t now = 10000;
+  for (int i = 0; i < 100; ++i) {
+    // 10 cycles of work every 100 cycles: 10% duty, never queues.
+    EXPECT_EQ(meter.Reserve(10, now), 0u) << i;
+    now += 100;
+  }
+}
+
+TEST(Meter, PacesSustainedOverload) {
+  BandwidthMeter meter;
+  uint64_t now = 10000;
+  uint64_t total_delay = 0;
+  // 200 cycles of work every 100 cycles: 2x overload. Total queueing must
+  // grow linearly (the requester would be paced to the device rate).
+  for (int i = 0; i < 100; ++i) {
+    total_delay = meter.Reserve(200, now);
+    now += 100;
+  }
+  // After 100 requests the backlog is ~100 * (200 - 100) = 10000 cycles.
+  EXPECT_GT(total_delay, 8000u);
+  EXPECT_LT(total_delay, 12000u);
+}
+
+TEST(Meter, IdleCreditIsForgotten) {
+  BandwidthMeter meter;
+  meter.Reserve(10, 1000);
+  // A long idle period must not bank capacity for a later burst beyond the
+  // window: after the gap, a burst still queues.
+  uint64_t delay = 0;
+  for (int i = 0; i < 100; ++i) {
+    delay = meter.Reserve(100, 1000000);  // 10000 cycles of work at once
+  }
+  EXPECT_GT(delay, 8000u);
+}
+
+TEST(Meter, ClockSkewDoesNotCreatePhantomQueueing) {
+  // The core property: a requester far ahead in time must not delay one
+  // behind it (within the window) when the device is keeping up.
+  BandwidthMeter meter;
+  meter.Reserve(5, 100000);  // "leader" core, tiny work
+  // The "laggard" 1000 cycles behind may at most queue behind the leader's
+  // 5 cycles of real work — never behind its clock.
+  EXPECT_LE(meter.Reserve(5, 99000), 5u);
+}
+
+TEST(Meter, BacklogObservation) {
+  BandwidthMeter meter;
+  EXPECT_EQ(meter.BacklogAt(1000), 0u);
+  meter.Reserve(5000, 1000);
+  EXPECT_GT(meter.BacklogAt(1000), 3000u);
+  // Much later the backlog has drained.
+  EXPECT_EQ(meter.BacklogAt(100000), 0u);
+}
+
+TEST(Meter, ConcurrentReservationsConserveWork) {
+  // Work conservation under threads: total delay across requesters must be
+  // at least (total work - elapsed capacity), never wildly more.
+  BandwidthMeter meter;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  constexpr uint64_t kCost = 50;
+  std::vector<uint64_t> delays(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t now = 50000 + t * 100;
+      for (int i = 0; i < kPerThread; ++i) {
+        delays[t] += meter.Reserve(kCost, now);
+        now += 10;  // each thread demands 5 cycles of work per cycle
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // Total work = 4 * 1000 * 50 = 200000 over ~10000 cycles of wall time:
+  // ~190000 cycles of queueing must have been charged somewhere.
+  uint64_t total = 0;
+  for (uint64_t d : delays) {
+    total += d;
+  }
+  EXPECT_GT(total, 100000u);
+}
+
+// ---- PMEM DIMM-level behaviour ----
+
+DeviceConfig DimmPmem() {
+  DeviceConfig c;
+  c.kind = DeviceKind::kPmem;
+  c.read_latency = 170;
+  c.write_latency = 90;
+  c.cycles_per_byte = 0.01;
+  c.internal_block_size = 256;
+  c.internal_buffer_blocks = 8;
+  c.interleave_dimms = 8;
+  c.interleave_bytes = 4096;
+  c.media_cycles_per_byte = 0.45;
+  return c;
+}
+
+TEST(PmemDimms, SequentialStreamStaysInOneModule) {
+  PmemDevice d(DimmPmem());
+  // A 4KB sequential write stream fills one interleave unit: it coalesces
+  // into 16 blocks, amp 1.0.
+  for (uint64_t off = 0; off < 4096; off += 64) {
+    d.Write(off, 64, 0);
+  }
+  d.Drain();
+  EXPECT_DOUBLE_EQ(d.Stats().WriteAmplification(), 1.0);
+}
+
+TEST(PmemDimms, ManyInterleavedStreamsStillCoalesce) {
+  PmemDevice d(DimmPmem());
+  // 8 concurrent sequential streams, one per interleave unit: each lands in
+  // its own module's buffer.
+  for (uint64_t line = 0; line < 64; ++line) {
+    for (uint64_t stream = 0; stream < 8; ++stream) {
+      d.Write(stream * 4096 + line * 64, 64, 0);
+    }
+  }
+  d.Drain();
+  EXPECT_DOUBLE_EQ(d.Stats().WriteAmplification(), 1.0);
+}
+
+TEST(PmemDimms, ScatterThrashesEveryModule) {
+  PmemDevice d(DimmPmem());
+  // Block-strided writes thrash the per-module buffers: full amplification.
+  for (uint64_t i = 0; i < 4096; ++i) {
+    d.Write(i * 256 * 7, 64, 0);  // ×7: avoid perfect dimm rotation
+  }
+  d.Drain();
+  EXPECT_GT(d.Stats().WriteAmplification(), 3.5);
+}
+
+TEST(PmemDimms, ReadsOfBufferedBlocksAreFree) {
+  PmemDevice d(DimmPmem());
+  d.Write(0, 64, 0);
+  const uint64_t t0 = 100000;
+  // The block is buffered: the read pays latency + interface only. A read
+  // of a distant cold block pays the media fetch as well (its delay only
+  // materializes under backlog, so compare media work via a saturated
+  // pattern instead: just check both complete).
+  EXPECT_GE(d.Read(64, 64, t0), t0 + d.config().read_latency);
+}
+
+TEST(PmemDimms, ReadAmplificationCharged) {
+  // Scattered cold reads fetch whole internal blocks: the media meter backs
+  // up even though no writes happen.
+  DeviceConfig cfg = DimmPmem();
+  cfg.media_cycles_per_byte = 4.0;  // slow media to surface the backlog
+  PmemDevice d(cfg);
+  uint64_t now = 10000;
+  uint64_t last = 0;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    last = d.Read(i * 256 * 7, 64, now);
+  }
+  // With ~341 cycles of media work per fetch all issued at once, the last
+  // read completes far in the future.
+  EXPECT_GT(last, now + 100000u);
+}
+
+TEST(PmemDimms, PartialBlockFlushPaysRmwFetch) {
+  // Two devices, same write count: full-block sequential stream vs one
+  // line per block. The partial flushes must cost more media time.
+  DeviceConfig cfg = DimmPmem();
+  cfg.media_cycles_per_byte = 2.0;
+  PmemDevice seq(cfg);
+  PmemDevice scatter(cfg);
+  uint64_t seq_last = 0;
+  uint64_t scatter_last = 0;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    seq_last = std::max(seq_last, seq.Write(i * 64, 64, 0));
+    scatter_last =
+        std::max(scatter_last, scatter.Write(i * 256 * 7, 64, 0));
+  }
+  EXPECT_GT(scatter_last, seq_last);
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "src/nas/ft.h"
+#include "src/nas/nas_common.h"
+#include "src/sim/harness.h"
+
+namespace prestore {
+namespace {
+
+class NasKernels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NasKernels, RunsAndProducesFiniteChecksum) {
+  Machine m(MachineA(1));
+  auto kernel = MakeNasKernel(GetParam(), m, NasPrestore::kOff);
+  ASSERT_NE(kernel, nullptr);
+  kernel->Run(m.core(0));
+  const double sum = kernel->Checksum(m.core(0));
+  EXPECT_TRUE(std::isfinite(sum)) << sum;
+}
+
+TEST_P(NasKernels, PrestoreDoesNotChangeResults) {
+  Machine m1(MachineA(1));
+  Machine m2(MachineA(1));
+  auto off = MakeNasKernel(GetParam(), m1, NasPrestore::kOff);
+  auto on = MakeNasKernel(GetParam(), m2, NasPrestore::kOn);
+  off->Run(m1.core(0));
+  on->Run(m2.core(0));
+  EXPECT_DOUBLE_EQ(off->Checksum(m1.core(0)), on->Checksum(m2.core(0)));
+}
+
+TEST_P(NasKernels, DeterministicAcrossRuns) {
+  auto run = [&] {
+    Machine m(MachineA(1));
+    auto kernel = MakeNasKernel(GetParam(), m, NasPrestore::kOff);
+    kernel->Run(m.core(0));
+    return kernel->Checksum(m.core(0));
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NasKernels,
+                         ::testing::ValuesIn(NasKernelNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(NasFactory, UnknownNameReturnsNull) {
+  Machine m(MachineA(1));
+  EXPECT_EQ(MakeNasKernel("nope", m, NasPrestore::kOff), nullptr);
+}
+
+TEST(NasFactory, NamesMatchTable2) {
+  EXPECT_EQ(NasKernelNames().size(), 9u);
+}
+
+TEST(NasTable2, ClassificationFlags) {
+  Machine m(MachineA(1));
+  struct Expected {
+    const char* name;
+    bool write_intensive;
+    bool sequential;
+  };
+  const Expected expected[] = {
+      {"mg", true, true},  {"ft", true, true},  {"sp", true, true},
+      {"bt", true, true},  {"ua", true, true},  {"is", true, false},
+      {"cg", false, false}, {"ep", false, false}, {"lu", false, false},
+  };
+  for (const Expected& e : expected) {
+    auto kernel = MakeNasKernel(e.name, m, NasPrestore::kOff);
+    EXPECT_EQ(kernel->WriteIntensive(), e.write_intensive) << e.name;
+    EXPECT_EQ(kernel->SequentialWrites(), e.sequential) << e.name;
+  }
+}
+
+TEST(NasMg, CleanReducesAmplification) {
+  auto amplification = [&](NasPrestore mode) {
+    Machine m(MachineA(1));
+    auto kernel = MakeNasKernel("mg", m, mode);
+    m.ResetStats();
+    kernel->Run(m.core(0));
+    m.FlushAll();
+    return m.target().Stats().WriteAmplification();
+  };
+  const double base = amplification(NasPrestore::kOff);
+  const double clean = amplification(NasPrestore::kOn);
+  EXPECT_LT(clean, base);
+  EXPECT_LT(clean, 1.3);
+}
+
+TEST(NasFt, Fftz2MisuseSlowsDown) {
+  // §7.4.2: cleaning the small rewritten FFT scratch costs ~3x.
+  auto cycles = [&](FtPatch patch) {
+    Machine m(MachineA(1));
+    FtKernel kernel(m, NasPrestore::kOff, 1, patch);
+    return RunOnCore(m, [&](Core& core) { kernel.Run(core); });
+  };
+  const uint64_t base = cycles(FtPatch::kNone);
+  const uint64_t misuse = cycles(FtPatch::kFftz2Clean);
+  EXPECT_GT(static_cast<double>(misuse) / base, 1.4);
+}
+
+TEST(NasFt, PatchVariantsAgreeFunctionally) {
+  auto checksum = [&](FtPatch patch) {
+    Machine m(MachineA(1));
+    FtKernel kernel(m, NasPrestore::kOff, 1, patch);
+    kernel.Run(m.core(0));
+    return kernel.Checksum(m.core(0));
+  };
+  const double base = checksum(FtPatch::kNone);
+  EXPECT_DOUBLE_EQ(base, checksum(FtPatch::kCffts1Clean));
+  EXPECT_DOUBLE_EQ(base, checksum(FtPatch::kFftz2Clean));
+}
+
+TEST(NasIs, PrestoreHasNoEffect) {
+  // §7.4.2: IS `rank` writes randomly; a pre-store neither helps nor hurts
+  // beyond a small tolerance.
+  auto cycles = [&](NasPrestore mode) {
+    Machine m(MachineA(1));
+    auto kernel = MakeNasKernel("is", m, mode);
+    return RunOnCore(m, [&](Core& core) { kernel->Run(core); });
+  };
+  const uint64_t base = cycles(NasPrestore::kOff);
+  const uint64_t on = cycles(NasPrestore::kOn);
+  const double ratio = static_cast<double>(on) / base;
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.30);
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,136 @@
+// Headline-result regression tests: compact versions of the paper's key
+// claims that must never silently regress. (The full sweeps live in bench/.)
+#include <gtest/gtest.h>
+
+#include "src/kv/clht.h"
+#include "src/kv/ycsb.h"
+#include "src/msg/x9.h"
+#include "src/nas/nas_common.h"
+#include "src/sim/harness.h"
+#include "src/util/rng.h"
+
+namespace prestore {
+namespace {
+
+TEST(PaperShapes, MachineB_ClhtCleanBeatsBaseline) {
+  // Figure 13, compact: YCSB A with 1KB values on B-fast, clean must win.
+  auto run = [&](KvWritePolicy policy) {
+    Machine m(MachineBFast(4));
+    ClhtMap store(m, 8192);
+    YcsbConfig cfg;
+    cfg.num_keys = 6000;
+    cfg.value_size = 1024;
+    cfg.threads = 4;
+    cfg.ops_per_thread = 400;
+    cfg.policy = policy;
+    YcsbLoad(m, store, cfg);
+    return YcsbRun(m, store, cfg).ThroughputPerMcycle();
+  };
+  const double base = run(KvWritePolicy::kBaseline);
+  const double clean = run(KvWritePolicy::kClean);
+  EXPECT_GT(clean, base * 1.10);
+}
+
+TEST(PaperShapes, MachineA_NasMgCleanWins) {
+  // Figure 9, compact: MG on the proportioned Machine A, 2 instances.
+  auto run = [&](NasPrestore mode) {
+    MachineConfig cfg = NasBenchMachineA();
+    cfg.num_cores = 2;
+    Machine m(cfg);
+    std::unique_ptr<NasKernel> kernels[2] = {
+        MakeNasKernel("mg", m, mode), MakeNasKernel("mg", m, mode)};
+    return RunParallel(m, 2, [&](Core& core, uint32_t tid) {
+      kernels[tid]->Run(core);
+    });
+  };
+  const uint64_t base = run(NasPrestore::kOff);
+  const uint64_t on = run(NasPrestore::kOn);
+  EXPECT_LT(on, base);
+}
+
+TEST(PaperShapes, CxlSsdAmplificationCeiling) {
+  // Extension: 512B blocks -> scattered 64B writebacks amplify up to 8x.
+  Machine m(MachineACxlSsd(1));
+  const uint64_t n = (32ULL << 20) / 64;
+  const SimAddr data = m.Alloc(n * 64);
+  m.ResetStats();
+  Xoshiro256 rng(3);
+  Core& core = m.core(0);
+  for (int i = 0; i < 30000; ++i) {
+    core.StoreU64(data + rng.Below(n) * 64, i);
+  }
+  m.FlushAll();
+  const double amp = m.target().Stats().WriteAmplification();
+  EXPECT_GT(amp, 6.0);
+  EXPECT_LE(amp, 8.0 + 1e-9);
+}
+
+TEST(PaperShapes, X9DemoteStillWinsOnBSlow) {
+  // §7.3.2, compact: B-slow has the larger absolute stall to hide.
+  auto send_cycles = [&](MsgPrestore mode) {
+    Machine m(MachineBSlow(2));
+    X9Inbox inbox(m, 64, 256);
+    constexpr uint64_t kMessages = 1200;
+    uint64_t producer_cycles = 0;
+    RunParallel(m, 2, [&](Core& core, uint32_t tid) {
+      if (tid == 0) {
+        for (uint64_t i = 0; i < kMessages; ++i) {
+          while (true) {
+            const uint64_t t0 = core.now();
+            if (inbox.TryWriteStamped(core, i, mode)) {
+              producer_cycles += core.now() - t0;
+              break;
+            }
+            core.SpinPause(50);
+          }
+        }
+      } else {
+        char drain[256];
+        uint64_t received = 0;
+        while (received < kMessages) {
+          if (inbox.TryRead(core, drain)) {
+            ++received;
+          } else {
+            core.SpinPause(30);
+          }
+        }
+      }
+    });
+    return producer_cycles / kMessages;
+  };
+  const uint64_t base = send_cycles(MsgPrestore::kOff);
+  const uint64_t demote = send_cycles(MsgPrestore::kDemote);
+  EXPECT_LT(demote, base);
+  EXPECT_GT(static_cast<double>(base) / demote, 1.3);
+}
+
+TEST(PaperShapes, DemoteUselessOnTso) {
+  // The §6.2.3 architecture note: on the strong x86 model writes publish
+  // eagerly, so demoting before a fence buys nothing.
+  auto run = [&](bool demote) {
+    Machine m(MachineA(1));
+    const SimAddr arr = m.Alloc(1 << 20);
+    return RunOnCore(m, [&](Core& core) {
+      Xoshiro256 rng(7);
+      for (int i = 0; i < 3000; ++i) {
+        const SimAddr a = arr + rng.Below((1 << 20) / 64) * 64;
+        core.StoreU64(a, i);
+        if (demote) {
+          core.Prestore(a, 8, PrestoreOp::kDemote);
+        }
+        for (int r = 0; r < 20; ++r) {
+          core.Execute(4);
+        }
+        core.Fence();
+      }
+    });
+  };
+  const uint64_t base = run(false);
+  const uint64_t demoted = run(true);
+  const double ratio = static_cast<double>(demoted) / base;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,190 @@
+// Table-2-style integration: DirtBuster classifies the real workloads of
+// this repository the way the paper's tool classified the originals.
+#include <gtest/gtest.h>
+
+#include "src/dirtbuster/dirtbuster.h"
+#include "src/kv/clht.h"
+#include "src/kv/ycsb.h"
+#include "src/msg/x9.h"
+#include "src/nas/nas_common.h"
+#include "src/proxy/proxies.h"
+#include "src/sim/harness.h"
+#include "src/tensor/training.h"
+
+namespace prestore {
+namespace {
+
+TEST(ProxyClassification, AllProxiesNotWriteIntensive) {
+  // The Phoronix-style rows of Table 2: pytorch/numpy/c-ray/gzip-like
+  // workloads spend <10% of instructions on stores.
+  Machine m(MachineA(1));
+  auto proxies = MakeAllProxies(m);
+  for (auto& proxy : proxies) {
+    DirtBuster db(m);
+    const DirtBusterReport report =
+        db.Analyze([&] { proxy->Run(m.core(0)); });
+    EXPECT_FALSE(report.write_intensive) << proxy->name();
+  }
+}
+
+TEST(NasClassification, MgSequentialWriterAdvisedCleanOrSkip) {
+  Machine m(MachineA(1));
+  auto kernel = MakeNasKernel("mg", m, NasPrestore::kOff);
+  DirtBuster db(m);
+  const DirtBusterReport report =
+      db.Analyze([&] { kernel->Run(m.core(0)); });
+  ASSERT_TRUE(report.write_intensive);
+  EXPECT_TRUE(report.sequential_writer);
+  bool found_resid_or_psinv = false;
+  for (const FunctionReport& f : report.functions) {
+    if (f.name == "resid" || f.name == "psinv") {
+      found_resid_or_psinv = true;
+      EXPECT_GT(f.analysis.seq_write_fraction, 0.5) << f.name;
+      EXPECT_TRUE(f.advice == Advice::kClean || f.advice == Advice::kSkip)
+          << f.name << " got " << prestore::ToString(f.advice);
+    }
+  }
+  EXPECT_TRUE(found_resid_or_psinv);
+}
+
+TEST(NasClassification, FtFftz2NotRecommended) {
+  // §7.4.2: DirtBuster must NOT suggest pre-storing the fftz2 scratch.
+  Machine m(MachineA(1));
+  auto kernel = MakeNasKernel("ft", m, NasPrestore::kOff);
+  DirtBuster db(m);
+  const DirtBusterReport report =
+      db.Analyze([&] { kernel->Run(m.core(0)); });
+  ASSERT_TRUE(report.write_intensive);
+  for (const FunctionReport& f : report.functions) {
+    if (f.name == "fftz2") {
+      EXPECT_NE(f.advice, Advice::kClean) << "fftz2 scratch is rewritten";
+      EXPECT_NE(f.advice, Advice::kSkip);
+    }
+    if (f.name == "cffts1") {
+      EXPECT_TRUE(f.advice == Advice::kClean || f.advice == Advice::kSkip)
+          << prestore::ToString(f.advice);
+    }
+  }
+}
+
+TEST(NasClassification, IsRankGetsNoRecommendation) {
+  Machine m(MachineA(1));
+  auto kernel = MakeNasKernel("is", m, NasPrestore::kOff);
+  DirtBuster db(m);
+  const DirtBusterReport report =
+      db.Analyze([&] { kernel->Run(m.core(0)); });
+  ASSERT_TRUE(report.write_intensive);
+  for (const FunctionReport& f : report.functions) {
+    if (f.name == "rank") {
+      EXPECT_EQ(f.advice, Advice::kNone);
+    }
+  }
+}
+
+TEST(NasClassification, NotWriteIntensiveKernels) {
+  for (const char* name : {"cg", "ep", "lu"}) {
+    Machine m(MachineA(1));
+    auto kernel = MakeNasKernel(name, m, NasPrestore::kOff);
+    DirtBuster db(m);
+    const DirtBusterReport report =
+        db.Analyze([&] { kernel->Run(m.core(0)); });
+    EXPECT_FALSE(report.write_intensive) << name;
+  }
+}
+
+TEST(KvClassification, ClhtYcsbAWritesBeforeFence) {
+  Machine m(MachineA(2));
+  ClhtMap store(m, 8192);
+  YcsbConfig cfg;
+  cfg.num_keys = 3000;
+  cfg.value_size = 512;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 600;
+  YcsbLoad(m, store, cfg);
+  DirtBuster db(m);
+  const DirtBusterReport report = db.Analyze([&] { YcsbRun(m, store, cfg); });
+  ASSERT_TRUE(report.write_intensive);
+  EXPECT_TRUE(report.writes_before_fence);
+  bool craft_found = false;
+  for (const FunctionReport& f : report.functions) {
+    if (f.name == "craftValue") {
+      craft_found = true;
+      EXPECT_GT(f.analysis.seq_write_fraction, 0.5);
+      EXPECT_GT(f.analysis.writes_before_fence_fraction, 0.3);
+      // Values are written sequentially, rarely reused, fence-bound:
+      // skip (with clean as the easy fallback) per §7.2.3.
+      EXPECT_TRUE(f.advice == Advice::kSkip || f.advice == Advice::kClean)
+          << prestore::ToString(f.advice);
+    }
+  }
+  EXPECT_TRUE(craft_found);
+}
+
+TEST(KvClassification, ReadMostlyYcsbNotRecommended) {
+  // §7.2.3: "read-only or read-mostly workloads (YCSB B-D) do not benefit".
+  Machine m(MachineA(2));
+  ClhtMap store(m, 8192);
+  YcsbConfig cfg;
+  cfg.workload = YcsbWorkload::kC;
+  cfg.num_keys = 3000;
+  cfg.value_size = 512;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 600;
+  YcsbLoad(m, store, cfg);
+  DirtBuster db(m);
+  const DirtBusterReport report = db.Analyze([&] { YcsbRun(m, store, cfg); });
+  EXPECT_FALSE(report.write_intensive);
+}
+
+TEST(MsgClassification, X9FillMsgAdvisedDemote) {
+  Machine m(MachineBFast(2));
+  X9Inbox inbox(m, 64, 512);
+  DirtBuster db(m);
+  const DirtBusterReport report = db.Analyze([&] {
+    Core& core = m.core(0);
+    char drain[512];
+    for (int i = 0; i < 3000; ++i) {
+      (void)inbox.TryWriteStamped(core, i, MsgPrestore::kOff);
+      (void)inbox.TryRead(core, drain);
+    }
+  });
+  ASSERT_TRUE(report.write_intensive);
+  EXPECT_TRUE(report.writes_before_fence);
+  bool fill_found = false;
+  for (const FunctionReport& f : report.functions) {
+    if (f.name == "fill_msg") {
+      fill_found = true;
+      // Message buffers are reused (re-written) and fence-bound: demote.
+      EXPECT_EQ(f.advice, Advice::kDemote);
+    }
+  }
+  EXPECT_TRUE(fill_found);
+}
+
+TEST(TensorClassification, EvaluatorAdvisedClean) {
+  Machine m(MachineA(1));
+  TrainingConfig cfg;
+  cfg.batch_size = 8;
+  cfg.features = 1024;
+  CnnTrainingProxy proxy(m, cfg);
+  DirtBuster db(m);
+  const DirtBusterReport report =
+      db.Analyze([&] { proxy.Step(m.core(0)); });
+  ASSERT_TRUE(report.write_intensive);
+  bool evaluator_found = false;
+  for (const FunctionReport& f : report.functions) {
+    if (f.name.find("TensorEvaluator") != std::string::npos) {
+      evaluator_found = true;
+      EXPECT_GT(f.analysis.seq_write_fraction, 0.5);
+    }
+    if (f.name == "im2col_scratch") {
+      // Non-sequential scratch: no pre-store (§7.2.1 "they do not write
+      // data sequentially").
+      EXPECT_EQ(f.advice, Advice::kNone);
+    }
+  }
+  EXPECT_TRUE(evaluator_found);
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,211 @@
+// End-to-end checks that the two performance problems the paper identifies
+// (§4.1 random evictions -> write amplification; §4.2 delayed publication ->
+// fence stalls) emerge from the simulator, and that pre-stores fix them.
+#include <gtest/gtest.h>
+
+#include "src/sim/array.h"
+#include "src/sim/harness.h"
+#include "src/sim/machine.h"
+#include "src/util/rng.h"
+
+namespace prestore {
+namespace {
+
+// Listing 1 workload: threads write random elements, optionally clean them,
+// then re-read a field. Returns (simulated cycles, write amplification).
+struct Listing1Result {
+  uint64_t cycles;
+  double amplification;
+};
+
+Listing1Result RunListing1(uint32_t threads, uint32_t elt_size, bool clean,
+                           uint32_t iters_per_thread) {
+  MachineConfig cfg = MachineA(threads);
+  Machine m(cfg);
+  const uint64_t nb_elements = (64ULL << 20) / elt_size;  // 64MB working set
+  const SimAddr elts = m.Alloc(nb_elements * elt_size);
+  std::vector<uint8_t> payload(elt_size, 0x7f);
+
+  m.ResetStats();
+  const uint64_t cycles =
+      RunParallel(m, threads, [&](Core& core, uint32_t tid) {
+        Xoshiro256 rng(100 + tid);
+        uint64_t total = 0;
+        for (uint32_t i = 0; i < iters_per_thread; ++i) {
+          const uint64_t idx = rng.Below(nb_elements);
+          const SimAddr e = elts + idx * elt_size;
+          core.MemCopyToSim(e, payload.data(), elt_size);
+          if (clean) {
+            core.Prestore(e, elt_size, PrestoreOp::kClean);
+          }
+          total += core.LoadU64(e);
+        }
+        (void)total;
+      });
+  m.FlushAll();
+  return {cycles, m.target().Stats().WriteAmplification()};
+}
+
+TEST(Problem1, BaselineRandomEvictionsAmplify) {
+  const auto r = RunListing1(2, 1024, /*clean=*/false, 3000);
+  EXPECT_GT(r.amplification, 1.5);
+}
+
+TEST(Problem1, CleanEliminatesAmplification) {
+  const auto r = RunListing1(2, 1024, /*clean=*/true, 3000);
+  EXPECT_LT(r.amplification, 1.3);
+}
+
+TEST(Problem1, CleanImprovesMultithreadedRuntime) {
+  const auto base = RunListing1(4, 1024, /*clean=*/false, 2000);
+  const auto clean = RunListing1(4, 1024, /*clean=*/true, 2000);
+  EXPECT_LT(clean.cycles, base.cycles);
+  // The paper reports 2.2-3x at >= 2 threads; demand at least 1.3x here.
+  EXPECT_GT(static_cast<double>(base.cycles) / clean.cycles, 1.3);
+}
+
+TEST(Problem1, SingleThreadGainSmallerThanMultiThread) {
+  const auto base1 = RunListing1(1, 1024, false, 3000);
+  const auto clean1 = RunListing1(1, 1024, true, 3000);
+  const auto base4 = RunListing1(4, 1024, false, 2000);
+  const auto clean4 = RunListing1(4, 1024, true, 2000);
+  const double gain1 = static_cast<double>(base1.cycles) / clean1.cycles;
+  const double gain4 = static_cast<double>(base4.cycles) / clean4.cycles;
+  EXPECT_GT(gain4, gain1 * 0.9);  // multi-thread gain at least comparable
+  EXPECT_GT(gain4, 1.2);
+}
+
+// Listing 2 workload: write a line, optionally demote, do n L1 reads, fence.
+uint64_t RunListing2(const MachineConfig& cfg, bool demote, uint32_t n_reads,
+                     uint32_t iters) {
+  Machine m(cfg);
+  const uint64_t num_elements = 4096;
+  const SimAddr array = m.Alloc(num_elements * 128, Region::kTarget);
+  const SimAddr l1_data = m.Alloc(64 * 128, Region::kDram);
+  std::vector<uint8_t> payload(128, 0x3c);
+
+  // Warm the L1 read set.
+  Core& c0 = m.core(0);
+  for (uint32_t i = 0; i < 64; ++i) {
+    c0.LoadU64(l1_data + i * 128);
+  }
+
+  return RunOnCore(m, [&](Core& core) {
+    Xoshiro256 rng(7);
+    for (uint32_t it = 0; it < iters; ++it) {
+      const uint64_t idx = rng.Below(num_elements);
+      core.MemCopyToSim(array + idx * 128, payload.data(), 128);
+      if (demote) {
+        core.Prestore(array + idx * 128, 128, PrestoreOp::kDemote);
+      }
+      for (uint32_t i = 0; i < n_reads; ++i) {
+        core.LoadU64(l1_data + (i % 64) * 128);
+      }
+      core.Fence();
+    }
+  });
+}
+
+TEST(Problem2, DemoteHidesPublicationLatency) {
+  const MachineConfig cfg = MachineBFast(1);
+  const uint64_t base = RunListing2(cfg, false, 30, 2000);
+  const uint64_t demote = RunListing2(cfg, true, 30, 2000);
+  EXPECT_LT(demote, base);
+  EXPECT_GT(static_cast<double>(base) / demote, 1.15);
+}
+
+TEST(Problem2, NoReadsMeansNoOverlapWindow) {
+  // With no work between demote and fence there is nothing to overlap with:
+  // the gain must be much smaller than at the sweet spot.
+  const MachineConfig cfg = MachineBFast(1);
+  const double gain0 = static_cast<double>(RunListing2(cfg, false, 0, 2000)) /
+                       RunListing2(cfg, true, 0, 2000);
+  const double gain30 = static_cast<double>(RunListing2(cfg, false, 30, 2000)) /
+                        RunListing2(cfg, true, 30, 2000);
+  EXPECT_GT(gain30, gain0 + 0.05);
+}
+
+TEST(Problem2, ManyReadsDominateRuntime) {
+  // With a huge read block the benchmark is read-bound and the relative gain
+  // asymptotically vanishes (right side of Figure 5).
+  const MachineConfig cfg = MachineBFast(1);
+  const double gain_mid = static_cast<double>(RunListing2(cfg, false, 30, 1000)) /
+                          RunListing2(cfg, true, 30, 1000);
+  const double gain_huge =
+      static_cast<double>(RunListing2(cfg, false, 2000, 200)) /
+      RunListing2(cfg, true, 2000, 200);
+  EXPECT_GT(gain_mid, gain_huge);
+  EXPECT_LT(gain_huge, 1.10);
+}
+
+TEST(Problem2, SlowFpgaPeaksAtLargerWindow) {
+  // Figure 5: the higher the device latency, the larger the read window
+  // needed to fully hide publication. Compare gains at a small window:
+  // B-Fast should already profit more than B-Slow relative to its own peak.
+  const double fast_small =
+      static_cast<double>(RunListing2(MachineBFast(1), false, 20, 1000)) /
+      RunListing2(MachineBFast(1), true, 20, 1000);
+  const double slow_small =
+      static_cast<double>(RunListing2(MachineBSlow(1), false, 20, 1000)) /
+      RunListing2(MachineBSlow(1), true, 20, 1000);
+  const double slow_large =
+      static_cast<double>(RunListing2(MachineBSlow(1), false, 150, 600)) /
+      RunListing2(MachineBSlow(1), true, 150, 600);
+  // B-Slow keeps improving with a larger window.
+  EXPECT_GT(slow_large, slow_small);
+  (void)fast_small;
+}
+
+TEST(Pitfall, CleaningHotLineIsCatastrophic) {
+  // Listing 3 (§5): cleaning a constantly rewritten line forces a memory
+  // writeback per iteration; the paper reports ~75x. Demand >= 10x.
+  MachineConfig cfg = MachineA(1);
+  Machine m(cfg);
+  const SimAddr line = m.Alloc(64);
+  std::vector<uint8_t> payload(64, 1);
+
+  const uint64_t base = RunOnCore(m, [&](Core& core) {
+    for (int i = 0; i < 5000; ++i) {
+      core.MemCopyToSim(line, payload.data(), 64);
+    }
+  });
+  const uint64_t with_clean = RunOnCore(m, [&](Core& core) {
+    for (int i = 0; i < 5000; ++i) {
+      core.MemCopyToSim(line, payload.data(), 64);
+      core.Prestore(line, 64, PrestoreOp::kClean);
+    }
+  });
+  EXPECT_GT(static_cast<double>(with_clean) / base, 10.0);
+}
+
+TEST(Pitfall, SkipSlowerThanCleanWhenDataReRead) {
+  // §5: skipping the cache makes the re-read (line 5 of Listing 1) go to
+  // memory; with small elements skipping must lose to cleaning.
+  MachineConfig cfg = MachineA(1);
+  const uint32_t elt = 64;
+  const uint64_t n = (16ULL << 20) / elt;
+  auto run = [&](bool skip) {
+    Machine m(cfg);
+    const SimAddr elts = m.Alloc(n * elt);
+    std::vector<uint8_t> payload(elt, 0x11);
+    return RunOnCore(m, [&](Core& core) {
+      Xoshiro256 rng(3);
+      uint64_t total = 0;
+      for (int i = 0; i < 4000; ++i) {
+        const SimAddr e = elts + rng.Below(n) * elt;
+        if (skip) {
+          core.StoreNt(e, payload.data(), elt);
+        } else {
+          core.MemCopyToSim(e, payload.data(), elt);
+          core.Prestore(e, elt, PrestoreOp::kClean);
+        }
+        total += core.LoadU64(e);  // re-read
+      }
+      (void)total;
+    });
+  };
+  EXPECT_GT(run(/*skip=*/true), run(/*skip=*/false));
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/harness.h"
+#include "src/tensor/evaluator.h"
+#include "src/tensor/training.h"
+
+namespace prestore {
+namespace {
+
+class TensorTest : public ::testing::Test {
+ protected:
+  TensorTest() : machine_(MachineA(2)) {}
+  Machine machine_;
+};
+
+TEST_F(TensorTest, SumEvaluatesCorrectly) {
+  Core& core = machine_.core(0);
+  Tensor a(machine_, 100);
+  Tensor b(machine_, 100);
+  Tensor out(machine_, 100);
+  for (uint64_t i = 0; i < 100; ++i) {
+    a.Set(core, i, static_cast<double>(i));
+    b.Set(core, i, 2.0 * static_cast<double>(i));
+  }
+  TensorEvaluator ev(machine_, TensorOp::kSum, TensorWritePolicy::kBaseline);
+  ev.Run(core, out, a, b);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(out.Get(core, i), 3.0 * static_cast<double>(i)) << i;
+  }
+}
+
+TEST_F(TensorTest, ProductAndScale) {
+  Core& core = machine_.core(0);
+  Tensor a(machine_, 64);
+  Tensor b(machine_, 64);
+  Tensor out(machine_, 64);
+  for (uint64_t i = 0; i < 64; ++i) {
+    a.Set(core, i, 3.0);
+    b.Set(core, i, static_cast<double>(i));
+  }
+  TensorEvaluator prod(machine_, TensorOp::kProduct,
+                       TensorWritePolicy::kBaseline);
+  prod.Run(core, out, a, b);
+  EXPECT_DOUBLE_EQ(out.Get(core, 10), 30.0);
+  TensorEvaluator scale(machine_, TensorOp::kScale,
+                        TensorWritePolicy::kBaseline);
+  scale.Run(core, out, b, b, /*alpha=*/0.5);
+  EXPECT_DOUBLE_EQ(out.Get(core, 10), 5.0);
+}
+
+TEST_F(TensorTest, PoliciesAgreeFunctionally) {
+  // clean / skip change timing only, never results.
+  Core& core = machine_.core(0);
+  Tensor a(machine_, 1000);
+  Tensor b(machine_, 1000);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    a.Set(core, i, static_cast<double>(i % 13));
+    b.Set(core, i, static_cast<double>(i % 7));
+  }
+  Tensor base(machine_, 1000);
+  Tensor clean(machine_, 1000);
+  Tensor skip(machine_, 1000);
+  TensorEvaluator e1(machine_, TensorOp::kRecurrent,
+                     TensorWritePolicy::kBaseline);
+  TensorEvaluator e2(machine_, TensorOp::kRecurrent, TensorWritePolicy::kClean);
+  TensorEvaluator e3(machine_, TensorOp::kRecurrent, TensorWritePolicy::kSkip);
+  e1.Run(core, base, a, b);
+  e2.Run(core, clean, a, b);
+  e3.Run(core, skip, a, b);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(base.Get(core, i), clean.Get(core, i)) << i;
+    EXPECT_DOUBLE_EQ(base.Get(core, i), skip.Get(core, i)) << i;
+  }
+}
+
+TEST_F(TensorTest, RecurrentDependsOnOwnOutput) {
+  Core& core = machine_.core(0);
+  const uint64_t chunk = kUnroll * kPacketSize;
+  Tensor a(machine_, 3 * chunk);
+  Tensor out(machine_, 3 * chunk);
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    a.Set(core, i, 1.0);
+  }
+  TensorEvaluator ev(machine_, TensorOp::kRecurrent,
+                     TensorWritePolicy::kBaseline);
+  ev.Run(core, out, a, a);
+  // out[i<chunk] = 1; out[chunk..2chunk) = 1 + 0.5*1 = 1.5; then 1.75.
+  EXPECT_DOUBLE_EQ(out.Get(core, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out.Get(core, chunk), 1.5);
+  EXPECT_DOUBLE_EQ(out.Get(core, 2 * chunk), 1.75);
+}
+
+TEST_F(TensorTest, TailHandlesNonChunkSizes) {
+  Core& core = machine_.core(0);
+  Tensor a(machine_, 21);
+  Tensor b(machine_, 21);
+  Tensor out(machine_, 21);
+  for (uint64_t i = 0; i < 21; ++i) {
+    a.Set(core, i, 1.0);
+    b.Set(core, i, 1.0);
+  }
+  TensorEvaluator ev(machine_, TensorOp::kSum, TensorWritePolicy::kClean);
+  ev.Run(core, out, a, b);
+  for (uint64_t i = 0; i < 21; ++i) {
+    EXPECT_DOUBLE_EQ(out.Get(core, i), 2.0) << i;
+  }
+}
+
+TEST_F(TensorTest, CleanReducesAmplification) {
+  // Machine A: the clean policy must cut PMEM write amplification on a
+  // large sequential evaluator run (Figure 8's mechanism).
+  auto run = [&](TensorWritePolicy policy) {
+    Machine m(MachineA(1));
+    const uint64_t n = (16 << 20) / 8;  // 16MB output
+    Tensor a(m, n);
+    Tensor out(m, n);
+    TensorEvaluator ev(m, TensorOp::kSum, policy);
+    m.ResetStats();
+    ev.Run(m.core(0), out, a, a);
+    m.FlushAll();
+    return m.target().Stats().WriteAmplification();
+  };
+  const double base = run(TensorWritePolicy::kBaseline);
+  const double clean = run(TensorWritePolicy::kClean);
+  EXPECT_GT(base, 1.2);
+  EXPECT_LT(clean, 1.15);
+}
+
+TEST_F(TensorTest, TrainingStepIsDeterministicPerPolicy) {
+  auto checksum = [&](TensorWritePolicy policy) {
+    Machine m(MachineA(1));
+    TrainingConfig cfg;
+    cfg.batch_size = 4;
+    cfg.features = 512;
+    cfg.policy = policy;
+    CnnTrainingProxy proxy(m, cfg);
+    proxy.Step(m.core(0));
+    proxy.Step(m.core(0));
+    return proxy.Checksum(m.core(0));
+  };
+  const double base = checksum(TensorWritePolicy::kBaseline);
+  EXPECT_DOUBLE_EQ(base, checksum(TensorWritePolicy::kClean));
+  EXPECT_DOUBLE_EQ(base, checksum(TensorWritePolicy::kSkip));
+  EXPECT_NE(base, 0.0);
+}
+
+TEST_F(TensorTest, ActivationsScaleWithBatchSize) {
+  Machine m(MachineA(1));
+  TrainingConfig small;
+  small.batch_size = 2;
+  TrainingConfig big;
+  big.batch_size = 16;
+  EXPECT_EQ(CnnTrainingProxy(m, small).ActivationElements() * 8,
+            CnnTrainingProxy(m, big).ActivationElements());
+}
+
+}  // namespace
+}  // namespace prestore

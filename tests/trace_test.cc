@@ -1,0 +1,135 @@
+// Trace substrate + annotation: the information DirtBuster consumes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/machine.h"
+#include "src/trace/trace.h"
+
+namespace prestore {
+namespace {
+
+TEST(Registry, InternDeduplicates) {
+  FunctionRegistry reg;
+  const uint32_t a = reg.Intern("foo", "a.cc:1");
+  const uint32_t b = reg.Intern("bar", "b.cc:2");
+  const uint32_t a2 = reg.Intern("foo", "other-location-ignored");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(reg.Function(a).name, "foo");
+  EXPECT_EQ(reg.Function(a).location, "a.cc:1");
+  EXPECT_EQ(reg.NumFunctions(), 2u);
+}
+
+TEST(Registry, ChainInterning) {
+  FunctionRegistry reg;
+  const uint32_t f = reg.Intern("f", "");
+  const uint32_t g = reg.Intern("g", "");
+  const uint32_t c1 = reg.InternChain({f, g});
+  const uint32_t c2 = reg.InternChain({f, g});
+  const uint32_t c3 = reg.InternChain({g, f});
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+  EXPECT_EQ(reg.Chain(c1), (std::vector<uint32_t>{f, g}));
+}
+
+class RecordingSink : public TraceSink {
+ public:
+  void Record(const TraceRecord& rec) override { records.push_back(rec); }
+  std::vector<TraceRecord> records;
+};
+
+TEST(Tracing, RecordsCarryKindAddrSize) {
+  Machine m(MachineA(1));
+  RecordingSink sink;
+  const SimAddr a = m.Alloc(4096);
+  m.SetTraceSink(&sink);
+  Core& core = m.core(0);
+  core.StoreU64(a, 1);
+  core.LoadU64(a);
+  core.Fence();
+  uint64_t expected = 1;
+  core.CasU64(a, expected, 2);
+  core.Prestore(a, 8, PrestoreOp::kClean);
+  m.SetTraceSink(nullptr);
+
+  ASSERT_GE(sink.records.size(), 5u);
+  EXPECT_EQ(sink.records[0].kind, TraceKind::kStore);
+  EXPECT_EQ(sink.records[0].addr, a);
+  EXPECT_EQ(sink.records[0].size, 8u);
+  EXPECT_EQ(sink.records[1].kind, TraceKind::kLoad);
+  EXPECT_EQ(sink.records[2].kind, TraceKind::kFence);
+  EXPECT_EQ(sink.records[3].kind, TraceKind::kAtomic);
+  EXPECT_EQ(sink.records[4].kind, TraceKind::kPrestore);
+}
+
+TEST(Tracing, BulkCopyEmitsPerLineRecords) {
+  Machine m(MachineA(1));
+  RecordingSink sink;
+  const SimAddr a = m.Alloc(4096);
+  char buf[256] = {};
+  m.SetTraceSink(&sink);
+  m.core(0).MemCopyToSim(a, buf, 256);
+  m.SetTraceSink(nullptr);
+  EXPECT_EQ(sink.records.size(), 4u);  // 256B = 4 x 64B lines
+  for (const TraceRecord& r : sink.records) {
+    EXPECT_EQ(r.kind, TraceKind::kStore);
+    EXPECT_EQ(r.size, 64u);
+  }
+}
+
+TEST(Tracing, FunctionAnnotationOnRecords) {
+  Machine m(MachineA(1));
+  RecordingSink sink;
+  const SimAddr a = m.Alloc(4096);
+  const FuncToken outer{m.registry().Intern("outer", "")};
+  const FuncToken inner{m.registry().Intern("inner", "")};
+  m.SetTraceSink(&sink);
+  Core& core = m.core(0);
+  {
+    ScopedFunction f1(core, outer);
+    core.StoreU64(a, 1);
+    {
+      ScopedFunction f2(core, inner);
+      core.StoreU64(a + 64, 2);
+    }
+    core.StoreU64(a + 128, 3);
+  }
+  core.StoreU64(a + 192, 4);
+  m.SetTraceSink(nullptr);
+
+  ASSERT_EQ(sink.records.size(), 4u);
+  EXPECT_EQ(sink.records[0].func_id, outer.id);
+  EXPECT_EQ(sink.records[1].func_id, inner.id);
+  EXPECT_EQ(sink.records[2].func_id, outer.id);
+  EXPECT_EQ(sink.records[3].func_id, kInvalidFunc);
+  // The inner record's chain resolves to outer -> inner.
+  EXPECT_EQ(m.registry().Chain(sink.records[1].chain_id),
+            (std::vector<uint32_t>{outer.id, inner.id}));
+}
+
+TEST(Tracing, IcountMonotonePerCore) {
+  Machine m(MachineA(1));
+  RecordingSink sink;
+  const SimAddr a = m.Alloc(1 << 16);
+  m.SetTraceSink(&sink);
+  Core& core = m.core(0);
+  for (int i = 0; i < 100; ++i) {
+    core.StoreU64(a + i * 64, i);
+  }
+  m.SetTraceSink(nullptr);
+  for (size_t i = 1; i < sink.records.size(); ++i) {
+    EXPECT_GE(sink.records[i].icount, sink.records[i - 1].icount);
+  }
+}
+
+TEST(Tracing, NullSinkIsFast) {
+  // No sink installed: tracing must not crash or emit.
+  Machine m(MachineA(1));
+  const SimAddr a = m.Alloc(4096);
+  m.core(0).StoreU64(a, 1);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/zipf.h"
+
+namespace prestore {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.Below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ForkIndependent) {
+  Xoshiro256 a(5);
+  Xoshiro256 b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Zipf, RanksWithinBounds) {
+  ZipfianGenerator zipf(1000);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(Zipf, RankZeroIsMostPopular) {
+  ZipfianGenerator zipf(1000);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Next(rng)];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(Zipf, SkewMatchesTheory) {
+  // With theta = 0.99 and n = 1000, rank 0 should get roughly 1/zeta(1000)
+  // of the mass (~13%). Allow generous slack.
+  ZipfianGenerator zipf(1000);
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    hits += zipf.Next(rng) == 0 ? 1 : 0;
+  }
+  const double frac = static_cast<double>(hits) / trials;
+  EXPECT_GT(frac, 0.08);
+  EXPECT_LT(frac, 0.20);
+}
+
+TEST(Zipf, ScrambledStaysInRange) {
+  ZipfianGenerator zipf(12345);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.NextScrambled(rng), 12345u);
+  }
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_EQ(s.Count(), 8u);
+}
+
+TEST(RunningStat, MergeEqualsCombined) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat all;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.NextDouble() * 10;
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+  EXPECT_EQ(a.Count(), all.Count());
+}
+
+TEST(Percentiles, OrderedQueries) {
+  Percentiles p;
+  for (int i = 100; i >= 1; --i) {
+    p.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(p.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.At(100), 100.0);
+  EXPECT_NEAR(p.Median(), 50.0, 1.0);
+  EXPECT_NEAR(p.At(90), 90.0, 1.0);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  EXPECT_EQ(Log2Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Log2Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Log2Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Log2Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Log2Histogram::BucketFor(4), 3);
+  EXPECT_EQ(Log2Histogram::BucketFor(1024), 11);
+}
+
+TEST(Log2Histogram, PercentileBucket) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Add(4);  // bucket 3
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Add(1024);  // bucket 11
+  }
+  EXPECT_EQ(h.PercentileBucket(50), 3);
+  EXPECT_EQ(h.PercentileBucket(99), 11);
+}
+
+TEST(TextTable, FormatsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow("alpha", 1);
+  t.AddRow("b", 2.5);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prestore
