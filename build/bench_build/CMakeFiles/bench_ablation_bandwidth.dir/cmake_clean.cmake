@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bandwidth"
+  "../bench/bench_ablation_bandwidth.pdb"
+  "CMakeFiles/bench_ablation_bandwidth.dir/bench_ablation_bandwidth.cc.o"
+  "CMakeFiles/bench_ablation_bandwidth.dir/bench_ablation_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

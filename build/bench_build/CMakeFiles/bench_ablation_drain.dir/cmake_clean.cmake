@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_drain"
+  "../bench/bench_ablation_drain.pdb"
+  "CMakeFiles/bench_ablation_drain.dir/bench_ablation_drain.cc.o"
+  "CMakeFiles/bench_ablation_drain.dir/bench_ablation_drain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

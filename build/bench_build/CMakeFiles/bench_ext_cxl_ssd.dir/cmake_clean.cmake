@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_cxl_ssd"
+  "../bench/bench_ext_cxl_ssd.pdb"
+  "CMakeFiles/bench_ext_cxl_ssd.dir/bench_ext_cxl_ssd.cc.o"
+  "CMakeFiles/bench_ext_cxl_ssd.dir/bench_ext_cxl_ssd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cxl_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

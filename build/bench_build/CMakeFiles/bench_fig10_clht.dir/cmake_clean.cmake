@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_clht"
+  "../bench/bench_fig10_clht.pdb"
+  "CMakeFiles/bench_fig10_clht.dir/bench_fig10_clht.cc.o"
+  "CMakeFiles/bench_fig10_clht.dir/bench_fig10_clht.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_clht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_masstree"
+  "../bench/bench_fig11_masstree.pdb"
+  "CMakeFiles/bench_fig11_masstree.dir/bench_fig11_masstree.cc.o"
+  "CMakeFiles/bench_fig11_masstree.dir/bench_fig11_masstree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_masstree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_kv_amplification"
+  "../bench/bench_fig12_kv_amplification.pdb"
+  "CMakeFiles/bench_fig12_kv_amplification.dir/bench_fig12_kv_amplification.cc.o"
+  "CMakeFiles/bench_fig12_kv_amplification.dir/bench_fig12_kv_amplification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_kv_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_clht_machineB"
+  "../bench/bench_fig13_clht_machineB.pdb"
+  "CMakeFiles/bench_fig13_clht_machineB.dir/bench_fig13_clht_machineB.cc.o"
+  "CMakeFiles/bench_fig13_clht_machineB.dir/bench_fig13_clht_machineB.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_clht_machineB.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

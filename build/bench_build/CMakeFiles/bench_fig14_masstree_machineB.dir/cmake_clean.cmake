@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_masstree_machineB"
+  "../bench/bench_fig14_masstree_machineB.pdb"
+  "CMakeFiles/bench_fig14_masstree_machineB.dir/bench_fig14_masstree_machineB.cc.o"
+  "CMakeFiles/bench_fig14_masstree_machineB.dir/bench_fig14_masstree_machineB.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_masstree_machineB.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

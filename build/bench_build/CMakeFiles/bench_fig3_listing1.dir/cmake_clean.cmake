@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_listing1"
+  "../bench/bench_fig3_listing1.pdb"
+  "CMakeFiles/bench_fig3_listing1.dir/bench_fig3_listing1.cc.o"
+  "CMakeFiles/bench_fig3_listing1.dir/bench_fig3_listing1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_listing1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

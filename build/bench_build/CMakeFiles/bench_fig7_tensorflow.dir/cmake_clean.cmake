@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_tensorflow"
+  "../bench/bench_fig7_tensorflow.pdb"
+  "CMakeFiles/bench_fig7_tensorflow.dir/bench_fig7_tensorflow.cc.o"
+  "CMakeFiles/bench_fig7_tensorflow.dir/bench_fig7_tensorflow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tensorflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_nas"
+  "../bench/bench_fig9_nas.pdb"
+  "CMakeFiles/bench_fig9_nas.dir/bench_fig9_nas.cc.o"
+  "CMakeFiles/bench_fig9_nas.dir/bench_fig9_nas.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_misuse_manual"
+  "../bench/bench_misuse_manual.pdb"
+  "CMakeFiles/bench_misuse_manual.dir/bench_misuse_manual.cc.o"
+  "CMakeFiles/bench_misuse_manual.dir/bench_misuse_manual.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misuse_manual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

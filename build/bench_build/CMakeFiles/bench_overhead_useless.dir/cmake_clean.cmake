@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_overhead_useless"
+  "../bench/bench_overhead_useless.pdb"
+  "CMakeFiles/bench_overhead_useless.dir/bench_overhead_useless.cc.o"
+  "CMakeFiles/bench_overhead_useless.dir/bench_overhead_useless.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_useless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

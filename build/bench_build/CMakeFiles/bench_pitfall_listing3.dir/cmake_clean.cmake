@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pitfall_listing3"
+  "../bench/bench_pitfall_listing3.pdb"
+  "CMakeFiles/bench_pitfall_listing3.dir/bench_pitfall_listing3.cc.o"
+  "CMakeFiles/bench_pitfall_listing3.dir/bench_pitfall_listing3.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pitfall_listing3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pitfall_skip"
+  "../bench/bench_pitfall_skip.pdb"
+  "CMakeFiles/bench_pitfall_skip.dir/bench_pitfall_skip.cc.o"
+  "CMakeFiles/bench_pitfall_skip.dir/bench_pitfall_skip.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pitfall_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

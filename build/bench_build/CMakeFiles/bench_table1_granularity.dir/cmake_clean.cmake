@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_granularity"
+  "../bench/bench_table1_granularity.pdb"
+  "CMakeFiles/bench_table1_granularity.dir/bench_table1_granularity.cc.o"
+  "CMakeFiles/bench_table1_granularity.dir/bench_table1_granularity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_classification.cc" "bench_build/CMakeFiles/bench_table2_classification.dir/bench_table2_classification.cc.o" "gcc" "bench_build/CMakeFiles/bench_table2_classification.dir/bench_table2_classification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dirtbuster/CMakeFiles/prestore_dirtbuster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/prestore_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/prestore_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/prestore_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/prestore_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/prestore_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prestore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

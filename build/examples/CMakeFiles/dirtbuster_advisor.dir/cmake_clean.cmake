@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirtbuster_advisor.dir/dirtbuster_advisor.cpp.o"
+  "CMakeFiles/dirtbuster_advisor.dir/dirtbuster_advisor.cpp.o.d"
+  "dirtbuster_advisor"
+  "dirtbuster_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirtbuster_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dirtbuster_advisor.
+# This may be replaced when dependencies are built.

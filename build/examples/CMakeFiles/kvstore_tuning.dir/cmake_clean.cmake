@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_tuning.dir/kvstore_tuning.cpp.o"
+  "CMakeFiles/kvstore_tuning.dir/kvstore_tuning.cpp.o.d"
+  "kvstore_tuning"
+  "kvstore_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_latency.dir/message_latency.cpp.o"
+  "CMakeFiles/message_latency.dir/message_latency.cpp.o.d"
+  "message_latency"
+  "message_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

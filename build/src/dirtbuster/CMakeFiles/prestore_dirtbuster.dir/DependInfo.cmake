@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dirtbuster/analyzer.cc" "src/dirtbuster/CMakeFiles/prestore_dirtbuster.dir/analyzer.cc.o" "gcc" "src/dirtbuster/CMakeFiles/prestore_dirtbuster.dir/analyzer.cc.o.d"
+  "/root/repo/src/dirtbuster/dirtbuster.cc" "src/dirtbuster/CMakeFiles/prestore_dirtbuster.dir/dirtbuster.cc.o" "gcc" "src/dirtbuster/CMakeFiles/prestore_dirtbuster.dir/dirtbuster.cc.o.d"
+  "/root/repo/src/dirtbuster/recommend.cc" "src/dirtbuster/CMakeFiles/prestore_dirtbuster.dir/recommend.cc.o" "gcc" "src/dirtbuster/CMakeFiles/prestore_dirtbuster.dir/recommend.cc.o.d"
+  "/root/repo/src/dirtbuster/sampler.cc" "src/dirtbuster/CMakeFiles/prestore_dirtbuster.dir/sampler.cc.o" "gcc" "src/dirtbuster/CMakeFiles/prestore_dirtbuster.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prestore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

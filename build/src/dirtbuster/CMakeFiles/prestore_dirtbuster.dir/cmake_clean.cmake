@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestore_dirtbuster.dir/analyzer.cc.o"
+  "CMakeFiles/prestore_dirtbuster.dir/analyzer.cc.o.d"
+  "CMakeFiles/prestore_dirtbuster.dir/dirtbuster.cc.o"
+  "CMakeFiles/prestore_dirtbuster.dir/dirtbuster.cc.o.d"
+  "CMakeFiles/prestore_dirtbuster.dir/recommend.cc.o"
+  "CMakeFiles/prestore_dirtbuster.dir/recommend.cc.o.d"
+  "CMakeFiles/prestore_dirtbuster.dir/sampler.cc.o"
+  "CMakeFiles/prestore_dirtbuster.dir/sampler.cc.o.d"
+  "libprestore_dirtbuster.a"
+  "libprestore_dirtbuster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestore_dirtbuster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prestore_dirtbuster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestore_hw.dir/hw_prestore.cc.o"
+  "CMakeFiles/prestore_hw.dir/hw_prestore.cc.o.d"
+  "libprestore_hw.a"
+  "libprestore_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestore_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/clht.cc" "src/kv/CMakeFiles/prestore_kv.dir/clht.cc.o" "gcc" "src/kv/CMakeFiles/prestore_kv.dir/clht.cc.o.d"
+  "/root/repo/src/kv/masstree.cc" "src/kv/CMakeFiles/prestore_kv.dir/masstree.cc.o" "gcc" "src/kv/CMakeFiles/prestore_kv.dir/masstree.cc.o.d"
+  "/root/repo/src/kv/ycsb.cc" "src/kv/CMakeFiles/prestore_kv.dir/ycsb.cc.o" "gcc" "src/kv/CMakeFiles/prestore_kv.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prestore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

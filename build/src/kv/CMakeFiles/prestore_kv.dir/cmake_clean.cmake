@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestore_kv.dir/clht.cc.o"
+  "CMakeFiles/prestore_kv.dir/clht.cc.o.d"
+  "CMakeFiles/prestore_kv.dir/masstree.cc.o"
+  "CMakeFiles/prestore_kv.dir/masstree.cc.o.d"
+  "CMakeFiles/prestore_kv.dir/ycsb.cc.o"
+  "CMakeFiles/prestore_kv.dir/ycsb.cc.o.d"
+  "libprestore_kv.a"
+  "libprestore_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestore_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

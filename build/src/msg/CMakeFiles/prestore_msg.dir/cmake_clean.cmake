@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestore_msg.dir/x9.cc.o"
+  "CMakeFiles/prestore_msg.dir/x9.cc.o.d"
+  "libprestore_msg.a"
+  "libprestore_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestore_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/bt.cc" "src/nas/CMakeFiles/prestore_nas.dir/bt.cc.o" "gcc" "src/nas/CMakeFiles/prestore_nas.dir/bt.cc.o.d"
+  "/root/repo/src/nas/ft.cc" "src/nas/CMakeFiles/prestore_nas.dir/ft.cc.o" "gcc" "src/nas/CMakeFiles/prestore_nas.dir/ft.cc.o.d"
+  "/root/repo/src/nas/mg.cc" "src/nas/CMakeFiles/prestore_nas.dir/mg.cc.o" "gcc" "src/nas/CMakeFiles/prestore_nas.dir/mg.cc.o.d"
+  "/root/repo/src/nas/nas_common.cc" "src/nas/CMakeFiles/prestore_nas.dir/nas_common.cc.o" "gcc" "src/nas/CMakeFiles/prestore_nas.dir/nas_common.cc.o.d"
+  "/root/repo/src/nas/small_kernels.cc" "src/nas/CMakeFiles/prestore_nas.dir/small_kernels.cc.o" "gcc" "src/nas/CMakeFiles/prestore_nas.dir/small_kernels.cc.o.d"
+  "/root/repo/src/nas/sp.cc" "src/nas/CMakeFiles/prestore_nas.dir/sp.cc.o" "gcc" "src/nas/CMakeFiles/prestore_nas.dir/sp.cc.o.d"
+  "/root/repo/src/nas/ua.cc" "src/nas/CMakeFiles/prestore_nas.dir/ua.cc.o" "gcc" "src/nas/CMakeFiles/prestore_nas.dir/ua.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prestore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

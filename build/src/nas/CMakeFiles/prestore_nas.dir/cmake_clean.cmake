@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestore_nas.dir/bt.cc.o"
+  "CMakeFiles/prestore_nas.dir/bt.cc.o.d"
+  "CMakeFiles/prestore_nas.dir/ft.cc.o"
+  "CMakeFiles/prestore_nas.dir/ft.cc.o.d"
+  "CMakeFiles/prestore_nas.dir/mg.cc.o"
+  "CMakeFiles/prestore_nas.dir/mg.cc.o.d"
+  "CMakeFiles/prestore_nas.dir/nas_common.cc.o"
+  "CMakeFiles/prestore_nas.dir/nas_common.cc.o.d"
+  "CMakeFiles/prestore_nas.dir/small_kernels.cc.o"
+  "CMakeFiles/prestore_nas.dir/small_kernels.cc.o.d"
+  "CMakeFiles/prestore_nas.dir/sp.cc.o"
+  "CMakeFiles/prestore_nas.dir/sp.cc.o.d"
+  "CMakeFiles/prestore_nas.dir/ua.cc.o"
+  "CMakeFiles/prestore_nas.dir/ua.cc.o.d"
+  "libprestore_nas.a"
+  "libprestore_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestore_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

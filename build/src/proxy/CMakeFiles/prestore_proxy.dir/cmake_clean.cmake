@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestore_proxy.dir/proxies.cc.o"
+  "CMakeFiles/prestore_proxy.dir/proxies.cc.o.d"
+  "libprestore_proxy.a"
+  "libprestore_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestore_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

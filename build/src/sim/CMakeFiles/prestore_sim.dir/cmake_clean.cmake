@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestore_sim.dir/cache.cc.o"
+  "CMakeFiles/prestore_sim.dir/cache.cc.o.d"
+  "CMakeFiles/prestore_sim.dir/config.cc.o"
+  "CMakeFiles/prestore_sim.dir/config.cc.o.d"
+  "CMakeFiles/prestore_sim.dir/core.cc.o"
+  "CMakeFiles/prestore_sim.dir/core.cc.o.d"
+  "CMakeFiles/prestore_sim.dir/device.cc.o"
+  "CMakeFiles/prestore_sim.dir/device.cc.o.d"
+  "CMakeFiles/prestore_sim.dir/machine.cc.o"
+  "CMakeFiles/prestore_sim.dir/machine.cc.o.d"
+  "libprestore_sim.a"
+  "libprestore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prestore_tensor.dir/evaluator.cc.o"
+  "CMakeFiles/prestore_tensor.dir/evaluator.cc.o.d"
+  "CMakeFiles/prestore_tensor.dir/training.cc.o"
+  "CMakeFiles/prestore_tensor.dir/training.cc.o.d"
+  "libprestore_tensor.a"
+  "libprestore_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prestore_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirtbuster_test.dir/dirtbuster_test.cc.o"
+  "CMakeFiles/dirtbuster_test.dir/dirtbuster_test.cc.o.d"
+  "dirtbuster_test"
+  "dirtbuster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirtbuster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_prestore_test.dir/hw_prestore_test.cc.o"
+  "CMakeFiles/hw_prestore_test.dir/hw_prestore_test.cc.o.d"
+  "hw_prestore_test"
+  "hw_prestore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_prestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

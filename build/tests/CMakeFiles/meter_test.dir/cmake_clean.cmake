@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meter_test.dir/meter_test.cc.o"
+  "CMakeFiles/meter_test.dir/meter_test.cc.o.d"
+  "meter_test"
+  "meter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

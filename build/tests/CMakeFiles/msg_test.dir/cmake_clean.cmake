@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_test.dir/msg_test.cc.o"
+  "CMakeFiles/msg_test.dir/msg_test.cc.o.d"
+  "msg_test"
+  "msg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

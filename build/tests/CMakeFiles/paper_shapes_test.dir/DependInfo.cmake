@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/paper_shapes_test.cc" "tests/CMakeFiles/paper_shapes_test.dir/paper_shapes_test.cc.o" "gcc" "tests/CMakeFiles/paper_shapes_test.dir/paper_shapes_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kv/CMakeFiles/prestore_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/prestore_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/prestore_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prestore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_dirtbuster_test.dir/proxy_dirtbuster_test.cc.o"
+  "CMakeFiles/proxy_dirtbuster_test.dir/proxy_dirtbuster_test.cc.o.d"
+  "proxy_dirtbuster_test"
+  "proxy_dirtbuster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_dirtbuster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_coherence_test.dir/sim_coherence_test.cc.o"
+  "CMakeFiles/sim_coherence_test.dir/sim_coherence_test.cc.o.d"
+  "sim_coherence_test"
+  "sim_coherence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_coherence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

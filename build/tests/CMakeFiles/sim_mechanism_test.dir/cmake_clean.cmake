@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_mechanism_test.dir/sim_mechanism_test.cc.o"
+  "CMakeFiles/sim_mechanism_test.dir/sim_mechanism_test.cc.o.d"
+  "sim_mechanism_test"
+  "sim_mechanism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirtbuster.dir/dirtbuster_cli.cc.o"
+  "CMakeFiles/dirtbuster.dir/dirtbuster_cli.cc.o.d"
+  "dirtbuster"
+  "dirtbuster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirtbuster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
