@@ -4,6 +4,8 @@
 #define BENCH_LISTINGS_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/sim/harness.h"
@@ -19,12 +21,25 @@ struct Listing1Result {
   double amplification = 1.0;
 };
 
+// Optional issue-path hook factory: lets a bench attach a PrestoreHook
+// (e.g. the adaptive governor from src/robust) to the machine this
+// function constructs, without listings.h depending on src/robust.
+using PrestoreHookFactory =
+    std::function<std::unique_ptr<PrestoreHook>(Machine&)>;
+
 inline Listing1Result RunListing1(MachineConfig cfg, uint32_t threads,
                                   uint32_t elt_size, bool clean,
                                   uint32_t iters_per_thread,
-                                  uint64_t working_set_bytes = 64ULL << 20) {
+                                  uint64_t working_set_bytes = 64ULL << 20,
+                                  const PrestoreHookFactory& hook_factory =
+                                      nullptr) {
   cfg.num_cores = threads;
   Machine machine(cfg);
+  std::unique_ptr<PrestoreHook> hook;  // must outlive the measured run
+  if (hook_factory != nullptr) {
+    hook = hook_factory(machine);
+    machine.AddPrestoreHook(hook.get());
+  }
   const uint64_t nb_elements = working_set_bytes / elt_size;
   const SimAddr elts = machine.Alloc(nb_elements * elt_size);
   std::vector<uint8_t> payload(elt_size, 0x7f);

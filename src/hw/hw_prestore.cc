@@ -84,41 +84,53 @@ const HwFeatures& DetectHwFeatures() {
   return features;
 }
 
+namespace {
+
+// Dispatches one selected instruction. The selection itself is the pure
+// SelectPrestoreInstr in the header; only the encodings live here.
+inline void IssueInstr(HwInstr instr, const void* p) {
+  switch (instr) {
+#if defined(PRESTORE_X86)
+    case HwInstr::kCldemote:
+      X86Cldemote(p);
+      break;
+    case HwInstr::kClwb:
+      X86Clwb(p);
+      break;
+    case HwInstr::kClflushopt:
+      X86Clflushopt(p);
+      break;
+#elif defined(PRESTORE_ARM)
+    case HwInstr::kDcCvau:
+      ArmDcCvau(p);
+      break;
+    case HwInstr::kDcCvac:
+      ArmDcCvac(p);
+      break;
+#endif
+    default:
+      (void)p;
+      break;
+  }
+}
+
+}  // namespace
+
 void HwPrestore(const void* location, size_t size, PrestoreOp op) {
   if (size == 0) {
     return;
   }
   const HwFeatures& f = DetectHwFeatures();
+  const HwInstr instr = SelectPrestoreInstr(HostArch(), f, op);
+  if (instr == HwInstr::kNone) {
+    return;
+  }
   const uint64_t line = f.cache_line_size;
   const auto addr = reinterpret_cast<uint64_t>(location);
   const uint64_t first = LineBase(addr, line);
   const uint64_t last = LineBase(addr + size - 1, line);
   for (uint64_t a = first; a <= last; a += line) {
-    const void* p = reinterpret_cast<const void*>(a);
-    switch (op) {
-      case PrestoreOp::kDemote:
-#if defined(PRESTORE_X86)
-        X86Cldemote(p);
-#elif defined(PRESTORE_ARM)
-        ArmDcCvau(p);
-#else
-        (void)p;
-#endif
-        break;
-      case PrestoreOp::kClean:
-#if defined(PRESTORE_X86)
-        if (f.has_clwb) {
-          X86Clwb(p);
-        } else if (f.has_clflushopt) {
-          X86Clflushopt(p);
-        }
-#elif defined(PRESTORE_ARM)
-        ArmDcCvac(p);
-#else
-        (void)p;
-#endif
-        break;
-    }
+    IssueInstr(instr, reinterpret_cast<const void*>(a));
   }
 }
 
@@ -167,6 +179,89 @@ void HwStoreNonTemporal(void* dst, const void* src, size_t size) {
 #else
   std::memcpy(dst, src, size);
 #endif
+}
+
+GovernedHwPrestore::GovernedHwPrestore(GovernorConfig config,
+                                       bool target_has_wa_headroom)
+    : config_(config),
+      has_headroom_(target_has_wa_headroom),
+      line_size_(DetectHwFeatures().cache_line_size) {}
+
+void GovernedHwPrestore::NoteCleanedLine(uint64_t line_addr) {
+  for (size_t i = 0; i < kRecentCleans; ++i) {
+    if (recent_clean_[i] == line_addr) {
+      return;
+    }
+  }
+  recent_clean_[next_clean_] = line_addr;
+  next_clean_ = (next_clean_ + 1) % kRecentCleans;
+}
+
+size_t GovernedHwPrestore::Prestore(const void* location, size_t size,
+                                    PrestoreOp op) {
+  if (size == 0) {
+    return 0;
+  }
+  const auto addr = reinterpret_cast<uint64_t>(location);
+  const uint64_t first = LineBase(addr, line_size_);
+  const uint64_t last = LineBase(addr + size - 1, line_size_);
+  size_t issued = 0;
+  for (uint64_t a = first; a <= last; a += line_size_) {
+    ++attempts_;
+    // Global useless-overhead gate (same hysteresis band as the simulator
+    // governor, evaluated over the caller-reported fence rate).
+    const uint64_t window_attempts = attempts_ - gate_last_attempts_;
+    if (window_attempts >= config_.global_eval_window) {
+      const double fence_rate =
+          static_cast<double>(fences_ - gate_last_fences_) / window_attempts;
+      if (!gate_closed_ && fence_rate < config_.fence_rate_low) {
+        gate_closed_ = true;
+      } else if (gate_closed_ && fence_rate > config_.fence_rate_high) {
+        gate_closed_ = false;
+      }
+      gate_last_attempts_ = attempts_;
+      gate_last_fences_ = fences_;
+    }
+    if (gate_closed_ && !has_headroom_) {
+      ++suppressed_;
+      continue;
+    }
+    RegionBackoff& region = regions_[a >> config_.region_shift];
+    if (!region.OnHint(config_, config_.backoff_rewrite_rate)) {
+      ++suppressed_;
+      continue;
+    }
+    HwPrestore(reinterpret_cast<const void*>(a), 1, op);
+    if (op == PrestoreOp::kClean) {
+      NoteCleanedLine(a);
+    }
+    ++admitted_;
+    ++issued;
+  }
+  return issued;
+}
+
+void GovernedHwPrestore::NoteStore(const void* location, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  const auto addr = reinterpret_cast<uint64_t>(location);
+  const uint64_t first = LineBase(addr, line_size_);
+  const uint64_t last = LineBase(addr + size - 1, line_size_);
+  for (uint64_t a = first; a <= last; a += line_size_) {
+    for (size_t i = 0; i < kRecentCleans; ++i) {
+      if (recent_clean_[i] == a) {
+        recent_clean_[i] = 0;
+        regions_[a >> config_.region_shift].OnRewrite();
+        break;
+      }
+    }
+  }
+}
+
+void GovernedHwPrestore::NoteFence() {
+  ++fences_;
+  HwStoreFence();
 }
 
 }  // namespace prestore

@@ -20,8 +20,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 
 #include "src/core/prestore.h"
+#include "src/robust/governor_policy.h"
 
 namespace prestore {
 
@@ -33,8 +35,59 @@ struct HwFeatures {
   uint32_t cache_line_size = 64;
 };
 
-// Detects the host CPU's pre-store capabilities. Cached after the first call.
+// Detects the host CPU's pre-store capabilities. Detection runs exactly once
+// (function-local static: concurrent first calls block until it completes),
+// so the returned reference is stable and race-free.
 const HwFeatures& DetectHwFeatures();
+
+// Instruction-selection is split out as a pure function of (architecture,
+// features, op) so the degrade-gracefully chain is unit-testable on any
+// host, not just hosts that actually lack clwb.
+enum class HwArch : uint8_t { kX86_64, kAArch64, kOther };
+
+constexpr HwArch HostArch() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return HwArch::kX86_64;
+#elif defined(__aarch64__)
+  return HwArch::kAArch64;
+#else
+  return HwArch::kOther;
+#endif
+}
+
+enum class HwInstr : uint8_t {
+  kCldemote,    // x86 demote (NOP-encoded on unsupporting CPUs)
+  kDcCvau,      // ARM demote
+  kClwb,        // x86 clean, keeps the line cached
+  kClflushopt,  // x86 clean fallback: flushes (evicts) the line
+  kDcCvac,      // ARM clean
+  kNone,        // no usable instruction: degrade to a no-op
+};
+
+// The fallback chain §2 requires: demote is cldemote / dc cvau (cldemote is
+// issued even when CPUID says unsupported — the encoding is a NOP there);
+// clean is clwb → clflushopt → no-op on x86, dc cvac on ARM.
+constexpr HwInstr SelectPrestoreInstr(HwArch arch, const HwFeatures& f,
+                                      PrestoreOp op) {
+  switch (arch) {
+    case HwArch::kX86_64:
+      if (op == PrestoreOp::kDemote) {
+        return HwInstr::kCldemote;
+      }
+      if (f.has_clwb) {
+        return HwInstr::kClwb;
+      }
+      if (f.has_clflushopt) {
+        return HwInstr::kClflushopt;
+      }
+      return HwInstr::kNone;
+    case HwArch::kAArch64:
+      return op == PrestoreOp::kDemote ? HwInstr::kDcCvau : HwInstr::kDcCvac;
+    case HwArch::kOther:
+      break;
+  }
+  return HwInstr::kNone;
+}
 
 // Issues pre-store instructions for every cache line in [location,
 // location+size). Non-blocking: returns as soon as the instructions are
@@ -50,6 +103,55 @@ void HwStoreFence();
 // Non-temporal (cache-skipping) copy of `size` bytes. Falls back to memcpy
 // when the CPU has no non-temporal stores. `dst` must be 8-byte aligned.
 void HwStoreNonTemporal(void* dst, const void* src, size_t size);
+
+// Adaptive wrapper around HwPrestore running the same hysteresis policy as
+// the simulator governor (src/robust/governor_policy.h), fed purely by
+// software-observable signals: the caller reports its stores (NoteStore)
+// and fences (NoteFence), and the wrapper detects rewrites of recently
+// cleaned lines — the Listing-3 misuse pattern — backing the offending
+// regions off. One instance per thread; not synchronized.
+class GovernedHwPrestore {
+ public:
+  // `target_has_wa_headroom` = false means the destination device cannot
+  // amplify writes (internal block == cache line); combined with a
+  // fence-free caller this closes the global useless-overhead gate.
+  explicit GovernedHwPrestore(GovernorConfig config = {},
+                              bool target_has_wa_headroom = true);
+
+  // Issues (or suppresses, per region) pre-stores for every line of
+  // [location, location+size). Returns the number of lines issued.
+  size_t Prestore(const void* location, size_t size, PrestoreOp op);
+
+  // Reports an application store to [location, location+size) so that
+  // rewrites of recently cleaned lines are observable.
+  void NoteStore(const void* location, size_t size);
+
+  // Reports (and issues) an ordering fence.
+  void NoteFence();
+
+  uint64_t attempts() const { return attempts_; }
+  uint64_t admitted() const { return admitted_; }
+  uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  void NoteCleanedLine(uint64_t line_addr);
+
+  static constexpr size_t kRecentCleans = 256;
+
+  GovernorConfig config_;
+  bool has_headroom_;
+  uint32_t line_size_;
+  std::unordered_map<uint64_t, RegionBackoff> regions_;
+  uint64_t recent_clean_[kRecentCleans] = {};
+  size_t next_clean_ = 0;
+  uint64_t attempts_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t suppressed_ = 0;
+  uint64_t fences_ = 0;
+  bool gate_closed_ = false;
+  uint64_t gate_last_attempts_ = 0;
+  uint64_t gate_last_fences_ = 0;
+};
 
 }  // namespace prestore
 

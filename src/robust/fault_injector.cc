@@ -1,0 +1,150 @@
+#include "src/robust/fault_injector.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/sim/machine.h"
+#include "src/util/rng.h"
+
+namespace prestore {
+
+namespace {
+
+// SplitMix64-style avalanche for per-hint drop decisions: a pure function
+// of (seed, core, ordinal), so decisions do not depend on cross-core timing.
+uint64_t MixHash(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t z = a ^ (b * 0x9e3779b97f4a7c15ULL) ^ (c * 0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : seed_(plan.seed) {
+  // Expand each spec with its own generator (derived from the plan seed and
+  // the spec index) so that reordering specs does not reshuffle windows.
+  for (size_t si = 0; si < plan.specs.size(); ++si) {
+    const FaultSpec& spec = plan.specs[si];
+    Xoshiro256 rng(plan.seed ^ (0x5eedULL + 0x9e37ULL * si));
+    uint64_t t = 0;
+    for (uint32_t i = 0; i < spec.count; ++i) {
+      // Period with ±50% uniform jitter, never zero.
+      const uint64_t half = std::max<uint64_t>(1, spec.mean_period_cycles / 2);
+      const uint64_t gap = half + rng.Below(2 * half);
+      t += gap;
+      schedule_.push_back(FaultWindow{spec.kind, t, t + spec.duration_cycles,
+                                      spec.magnitude});
+    }
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              if (a.start_cycle != b.start_cycle) {
+                return a.start_cycle < b.start_cycle;
+              }
+              if (a.kind != b.kind) {
+                return a.kind < b.kind;
+              }
+              return a.magnitude < b.magnitude;
+            });
+  for (const FaultWindow& w : schedule_) {
+    by_kind_[static_cast<size_t>(w.kind)].push_back(w);
+  }
+}
+
+void FaultInjector::Attach(Machine& machine) {
+  machine.SetDeviceFaultHook(this);
+  machine.AddPrestoreHook(this);
+}
+
+double FaultInjector::ActiveMagnitude(FaultKind kind, uint64_t now) const {
+  const std::vector<FaultWindow>& windows = by_kind_[static_cast<size_t>(kind)];
+  double magnitude = 0.0;
+  // Windows of one kind are few (a schedule is tens of windows); a linear
+  // scan over the kind's windows is cheaper than maintaining interval trees.
+  for (const FaultWindow& w : windows) {
+    if (w.start_cycle > now) {
+      break;  // sorted by start: nothing later can be active
+    }
+    if (now < w.end_cycle) {
+      magnitude = std::max(magnitude, w.magnitude);
+    }
+  }
+  return magnitude;
+}
+
+uint64_t FaultInjector::ExtraLatency(bool is_write, uint64_t now) {
+  (void)is_write;
+  return static_cast<uint64_t>(ActiveMagnitude(FaultKind::kLatencySpike, now));
+}
+
+double FaultInjector::BandwidthCostMultiplier(uint64_t now) {
+  const double m = ActiveMagnitude(FaultKind::kBandwidthThrottle, now);
+  return m > 1.0 ? m : 1.0;
+}
+
+uint32_t FaultInjector::StolenBufferBlocks(uint64_t now) {
+  return static_cast<uint32_t>(
+      ActiveMagnitude(FaultKind::kBufferPressure, now));
+}
+
+uint64_t FaultInjector::ExtraDirectoryLatency(uint64_t now) {
+  return static_cast<uint64_t>(
+      ActiveMagnitude(FaultKind::kDirectoryTimeout, now));
+}
+
+HintFate FaultInjector::OnPrestoreHint(uint8_t core, uint64_t line_addr,
+                                       PrestoreOp op, uint64_t now,
+                                       uint64_t* delay_cycles) {
+  (void)op;
+  const size_t slot = core % kMaxCores;
+  const uint64_t ordinal = hint_ordinal_[slot]++;
+
+  const double drop_p = ActiveMagnitude(FaultKind::kDropHint, now);
+  if (drop_p > 0.0) {
+    const uint64_t h = MixHash(seed_, core, ordinal);
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+    if (u < drop_p) {
+      hint_log_[slot].push_back(HintLogEntry{ordinal, line_addr, true, 0});
+      return HintFate::kDrop;
+    }
+  }
+  const uint64_t delay =
+      static_cast<uint64_t>(ActiveMagnitude(FaultKind::kDelayHint, now));
+  if (delay > 0) {
+    *delay_cycles += delay;
+    hint_log_[slot].push_back(HintLogEntry{ordinal, line_addr, false, delay});
+  }
+  return HintFate::kIssue;
+}
+
+std::string FaultInjector::EventLog() const {
+  std::string log;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "plan seed=%" PRIu64 " windows=%zu\n",
+                seed_, schedule_.size());
+  log += buf;
+  for (const FaultWindow& w : schedule_) {
+    std::snprintf(buf, sizeof(buf),
+                  "window kind=%s start=%" PRIu64 " end=%" PRIu64
+                  " magnitude=%.6g\n",
+                  std::string(ToString(w.kind)).c_str(), w.start_cycle,
+                  w.end_cycle, w.magnitude);
+    log += buf;
+  }
+  for (size_t core = 0; core < kMaxCores; ++core) {
+    for (const HintLogEntry& e : hint_log_[core]) {
+      std::snprintf(buf, sizeof(buf),
+                    "hint core=%zu ordinal=%" PRIu64 " line=0x%" PRIx64
+                    " %s=%" PRIu64 "\n",
+                    core, e.ordinal, e.line_addr,
+                    e.dropped ? "dropped" : "delayed", e.delay_cycles);
+      log += buf;
+    }
+  }
+  return log;
+}
+
+}  // namespace prestore

@@ -1,0 +1,82 @@
+// Deterministic, seeded fault injector for the simulator.
+//
+// Hooks both sides of the machine:
+//  - as a DeviceFaultHook it injects latency spikes, bandwidth-throttle
+//    windows, XPBuffer pressure, and far-memory directory timeouts into the
+//    device timing paths;
+//  - as a PrestoreHook it drops or delays pre-store hints on the core's
+//    issue path.
+//
+// Everything is a pure function of the FaultPlan: the window schedule is
+// expanded up front with a seeded generator, and per-hint drop decisions
+// hash (seed, core, per-core hint ordinal), so a single-core run replayed
+// with the same seed produces a byte-identical injected-event log
+// (EventLog()). Multi-core runs keep per-core logs individually
+// deterministic.
+#ifndef SRC_ROBUST_FAULT_INJECTOR_H_
+#define SRC_ROBUST_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/robust/fault_plan.h"
+#include "src/sim/hooks.h"
+
+namespace prestore {
+
+class Machine;
+
+class FaultInjector : public DeviceFaultHook, public PrestoreHook {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  // Installs this injector on `machine` (device hook + pre-store hook).
+  // The injector must outlive the machine's measured runs.
+  void Attach(Machine& machine);
+
+  // The expanded schedule, sorted by start cycle.
+  const std::vector<FaultWindow>& schedule() const { return schedule_; }
+
+  // Serialized injected-event log: the expanded window schedule followed by
+  // every per-core hint intervention, in per-core order. Byte-identical
+  // across runs with the same plan and (per core) the same workload.
+  std::string EventLog() const;
+
+  // ---- DeviceFaultHook ----
+  uint64_t ExtraLatency(bool is_write, uint64_t now) override;
+  double BandwidthCostMultiplier(uint64_t now) override;
+  uint32_t StolenBufferBlocks(uint64_t now) override;
+  uint64_t ExtraDirectoryLatency(uint64_t now) override;
+
+  // ---- PrestoreHook ----
+  HintFate OnPrestoreHint(uint8_t core, uint64_t line_addr, PrestoreOp op,
+                          uint64_t now, uint64_t* delay_cycles) override;
+
+ private:
+  static constexpr size_t kMaxCores = 64;
+
+  struct HintLogEntry {
+    uint64_t ordinal;  // per-core hint counter value
+    uint64_t line_addr;
+    bool dropped;      // false = delayed
+    uint64_t delay_cycles;
+  };
+
+  // Sum / max of active-window magnitudes of `kind` at `now`.
+  double ActiveMagnitude(FaultKind kind, uint64_t now) const;
+
+  uint64_t seed_;
+  std::vector<FaultWindow> schedule_;
+  // Per-kind views into the schedule, sorted by start, for fast queries.
+  std::array<std::vector<FaultWindow>, 6> by_kind_;
+  // Per-core hint ordinals and intervention logs. Each slot is only ever
+  // touched by its own core's host thread.
+  std::array<uint64_t, kMaxCores> hint_ordinal_{};
+  std::array<std::vector<HintLogEntry>, kMaxCores> hint_log_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_ROBUST_FAULT_INJECTOR_H_

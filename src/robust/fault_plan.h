@@ -1,0 +1,70 @@
+// Declarative fault plans for the simulator.
+//
+// A FaultPlan is a seed plus a set of FaultSpecs; FaultInjector::Expand
+// turns it into a concrete, fully deterministic schedule of fault windows
+// (same plan ⇒ byte-identical schedule and event log), so any failure found
+// under injection reproduces from the seed alone.
+#ifndef SRC_ROBUST_FAULT_PLAN_H_
+#define SRC_ROBUST_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace prestore {
+
+enum class FaultKind : uint8_t {
+  kLatencySpike,       // magnitude = extra cycles per device access
+  kBandwidthThrottle,  // magnitude = cost multiplier (>1 slows transfers)
+  kBufferPressure,     // magnitude = XPBuffer blocks stolen from a PmemDevice
+  kDirectoryTimeout,   // magnitude = extra cycles per directory access
+  kDropHint,           // magnitude = drop probability in [0, 1]
+  kDelayHint,          // magnitude = issue delay in cycles per hint
+};
+
+constexpr std::string_view ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLatencySpike:
+      return "latency_spike";
+    case FaultKind::kBandwidthThrottle:
+      return "bandwidth_throttle";
+    case FaultKind::kBufferPressure:
+      return "buffer_pressure";
+    case FaultKind::kDirectoryTimeout:
+      return "directory_timeout";
+    case FaultKind::kDropHint:
+      return "drop_hint";
+    case FaultKind::kDelayHint:
+      return "delay_hint";
+  }
+  return "?";
+}
+
+// One recurring fault: `count` windows of `duration_cycles`, spaced on
+// average `mean_period_cycles` apart (uniform jitter of ±50% of the period,
+// drawn from the plan's seed).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLatencySpike;
+  uint64_t mean_period_cycles = 100000;
+  uint64_t duration_cycles = 10000;
+  double magnitude = 1.0;
+  uint32_t count = 1;
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<FaultSpec> specs;
+};
+
+// A concrete scheduled window: the fault is active for now in
+// [start_cycle, end_cycle).
+struct FaultWindow {
+  FaultKind kind;
+  uint64_t start_cycle;
+  uint64_t end_cycle;
+  double magnitude;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_ROBUST_FAULT_PLAN_H_

@@ -1,0 +1,177 @@
+#include "src/robust/governor.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+namespace {
+
+double HeadroomOf(const DeviceConfig& dev, uint32_t line_size) {
+  if (dev.kind == DeviceKind::kPmem && dev.internal_block_size > line_size) {
+    return static_cast<double>(dev.internal_block_size) /
+           static_cast<double>(line_size);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+PrestoreGovernor::PrestoreGovernor(Machine& machine, GovernorConfig config)
+    : machine_(machine), config_(config) {
+  const MachineConfig& mc = machine.config();
+  dram_headroom_ = HeadroomOf(mc.dram, mc.line_size);
+  target_headroom_ = HeadroomOf(mc.target, mc.line_size);
+}
+
+void PrestoreGovernor::Attach() { machine_.AddPrestoreHook(this); }
+
+double PrestoreGovernor::HeadroomFor(uint64_t line_addr) const {
+  return line_addr >= kTargetBase ? target_headroom_ : dram_headroom_;
+}
+
+void PrestoreGovernor::SampleDevicePressureLocked(uint64_t now) {
+  last_backlog_ = machine_.target().InternalBacklogAt(now);
+  last_write_amp_ = machine_.target().Stats().WriteAmplification();
+  under_pressure_ = last_backlog_ >= config_.pressure_backlog_cycles ||
+                    last_write_amp_ >= config_.pressure_write_amp;
+}
+
+void PrestoreGovernor::EvaluateGateLocked() {
+  const uint64_t window_attempts = attempts_ - gate_last_attempts_;
+  if (window_attempts < config_.global_eval_window) {
+    return;
+  }
+  const uint64_t window_fences = fences_ - gate_last_fences_;
+  const double fence_rate = static_cast<double>(window_fences) /
+                            static_cast<double>(window_attempts);
+  if (!gate_closed_ && fence_rate < config_.fence_rate_low) {
+    gate_closed_ = true;
+  } else if (gate_closed_ && fence_rate > config_.fence_rate_high) {
+    gate_closed_ = false;
+  }
+  gate_last_attempts_ = attempts_;
+  gate_last_fences_ = fences_;
+}
+
+HintFate PrestoreGovernor::OnPrestoreHint(uint8_t core, uint64_t line_addr,
+                                          PrestoreOp op, uint64_t now,
+                                          uint64_t* delay_cycles) {
+  (void)core;
+  (void)op;
+  (void)delay_cycles;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++attempts_;
+  if (attempts_ % config_.device_sample_period == 0) {
+    SampleDevicePressureLocked(now);
+  }
+  EvaluateGateLocked();
+
+  // Gate first: when the device has no amplification headroom and the
+  // workload does not fence, no hint to that device can help, so the region
+  // machinery never even sees the hint (its windows would be polluted by
+  // hints that were doomed for an unrelated reason).
+  if (gate_closed_ && HeadroomFor(line_addr) <= 1.0) {
+    ++suppressed_by_gate_;
+    return HintFate::kDrop;
+  }
+
+  RegionBackoff& region = regions_[line_addr >> config_.region_shift];
+  const double threshold = under_pressure_
+                               ? config_.backoff_rewrite_rate *
+                                     config_.pressure_rate_scale
+                               : config_.backoff_rewrite_rate;
+  if (!region.OnHint(config_, threshold)) {
+    ++suppressed_by_region_;
+    return HintFate::kDrop;
+  }
+  ++admitted_;
+  return HintFate::kIssue;
+}
+
+void PrestoreGovernor::OnUselessHint(uint8_t core, uint64_t line_addr,
+                                     PrestoreOp op) {
+  (void)core;
+  (void)op;
+  std::lock_guard<std::mutex> lock(mu_);
+  regions_[line_addr >> config_.region_shift].OnUseless();
+}
+
+void PrestoreGovernor::OnRewriteAfterClean(uint8_t core, uint64_t line_addr,
+                                           uint64_t now) {
+  (void)core;
+  (void)now;
+  std::lock_guard<std::mutex> lock(mu_);
+  regions_[line_addr >> config_.region_shift].OnRewrite();
+}
+
+void PrestoreGovernor::OnFence(uint8_t core, uint64_t now) {
+  (void)core;
+  (void)now;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++fences_;
+}
+
+PrestoreGovernor::Snapshot PrestoreGovernor::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.attempts = attempts_;
+  snap.admitted = admitted_;
+  snap.suppressed = suppressed_by_gate_ + suppressed_by_region_;
+  snap.suppressed_by_gate = suppressed_by_gate_;
+  snap.suppressed_by_region = suppressed_by_region_;
+  snap.fences = fences_;
+  snap.gate_closed = gate_closed_;
+  snap.under_pressure = under_pressure_;
+  snap.last_backlog = last_backlog_;
+  snap.last_write_amp = last_write_amp_;
+  snap.regions.reserve(regions_.size());
+  for (const auto& [key, region] : regions_) {
+    RegionSnapshot rs;
+    rs.region_base = key << config_.region_shift;
+    rs.state = region.state();
+    rs.admitted = region.admitted();
+    rs.suppressed = region.suppressed();
+    rs.rewrites = region.rewrites();
+    rs.useless = region.useless();
+    rs.backoffs = region.backoffs();
+    rs.reopens = region.reopens();
+    snap.regions.push_back(rs);
+  }
+  return snap;
+}
+
+std::string PrestoreGovernor::Summary() const {
+  const Snapshot snap = TakeSnapshot();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "governor: attempts=%" PRIu64 " admitted=%" PRIu64
+                " suppressed=%" PRIu64 " (gate=%" PRIu64 " region=%" PRIu64
+                ") fences=%" PRIu64 " gate_closed=%d pressure=%d wa=%.2f\n",
+                snap.attempts, snap.admitted, snap.suppressed,
+                snap.suppressed_by_gate, snap.suppressed_by_region,
+                snap.fences, snap.gate_closed ? 1 : 0,
+                snap.under_pressure ? 1 : 0, snap.last_write_amp);
+  out += buf;
+  for (const RegionSnapshot& r : snap.regions) {
+    if (r.suppressed == 0 && r.backoffs == 0) {
+      continue;  // only regions the governor acted on are interesting
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  region 0x%" PRIx64 ": %s admitted=%" PRIu64
+                  " suppressed=%" PRIu64 " rewrites=%" PRIu64
+                  " useless=%" PRIu64 " backoffs=%" PRIu32
+                  " reopens=%" PRIu32 "\n",
+                  r.region_base,
+                  r.state == RegionBackoff::State::kOpen ? "open" : "backoff",
+                  r.admitted, r.suppressed, r.rewrites, r.useless, r.backoffs,
+                  r.reopens);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace prestore

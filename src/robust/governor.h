@@ -1,0 +1,128 @@
+// Adaptive pre-store governor for the simulator.
+//
+// Sits on the Machine's pre-store issue path (a PrestoreHook) and decides,
+// per hint, whether issuing it can plausibly pay for itself. Three online
+// signals drive the decision:
+//
+//  1. Per-region rewrite-after-clean rate — the Listing-3 misuse pattern
+//     (§7.4.2): cleaning a line that is about to be rewritten turns one
+//     coalesced writeback into several, multiplying media traffic. Regions
+//     whose cleans keep getting re-dirtied are backed off with hysteresis
+//     and probed for recovery (see governor_policy.h).
+//  2. A global useless-overhead gate (§7.4.1): on a device with no
+//     write-amplification headroom (internal block == cache line), hints
+//     only help by overlapping publication with ordering fences; when the
+//     workload (almost) never fences, every hint is pure issue overhead and
+//     the gate suppresses them all (still with probing via the hysteresis
+//     fence-rate band).
+//  3. Device pressure — the target device's internal backlog and measured
+//     write amplification are sampled periodically; under pressure the
+//     rewrite backoff threshold tightens, since wasted writebacks are
+//     costlier when the media is already behind.
+//
+// Suppressed hints cost no simulated cycles (a real governor would be a
+// predicted branch around the hint instruction) and are counted in
+// CoreStats::prestores_suppressed and in the governor's own snapshot.
+#ifndef SRC_ROBUST_GOVERNOR_H_
+#define SRC_ROBUST_GOVERNOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/robust/governor_policy.h"
+#include "src/sim/hooks.h"
+
+namespace prestore {
+
+class Machine;
+
+class PrestoreGovernor : public PrestoreHook {
+ public:
+  explicit PrestoreGovernor(Machine& machine, GovernorConfig config = {});
+
+  // Registers this governor on the machine's pre-store issue path. The
+  // governor must outlive the machine's measured runs.
+  void Attach();
+
+  // ---- PrestoreHook ----
+  HintFate OnPrestoreHint(uint8_t core, uint64_t line_addr, PrestoreOp op,
+                          uint64_t now, uint64_t* delay_cycles) override;
+  void OnUselessHint(uint8_t core, uint64_t line_addr, PrestoreOp op) override;
+  void OnRewriteAfterClean(uint8_t core, uint64_t line_addr,
+                           uint64_t now) override;
+  void OnFence(uint8_t core, uint64_t now) override;
+
+  // ---- Exported decisions / counters ----
+
+  struct RegionSnapshot {
+    uint64_t region_base = 0;  // first byte of the region
+    RegionBackoff::State state = RegionBackoff::State::kOpen;
+    uint64_t admitted = 0;
+    uint64_t suppressed = 0;
+    uint64_t rewrites = 0;
+    uint64_t useless = 0;
+    uint32_t backoffs = 0;
+    uint32_t reopens = 0;
+  };
+
+  struct Snapshot {
+    uint64_t attempts = 0;
+    uint64_t admitted = 0;
+    uint64_t suppressed = 0;
+    uint64_t suppressed_by_gate = 0;    // global useless-overhead gate
+    uint64_t suppressed_by_region = 0;  // per-region rewrite/useless backoff
+    uint64_t fences = 0;
+    bool gate_closed = false;      // global gate currently suppressing
+    bool under_pressure = false;   // last device sample exceeded thresholds
+    uint64_t last_backlog = 0;     // last sampled internal backlog (cycles)
+    double last_write_amp = 1.0;   // last sampled write amplification
+    std::vector<RegionSnapshot> regions;  // sorted by region_base
+  };
+
+  Snapshot TakeSnapshot() const;
+
+  // One-line-per-counter human-readable summary (for benches).
+  std::string Summary() const;
+
+  const GovernorConfig& config() const { return config_; }
+
+ private:
+  // Target-device amplification headroom: internal block bytes per cache
+  // line. > 1 means cleans can reduce media traffic; == 1 means they cannot.
+  double HeadroomFor(uint64_t line_addr) const;
+
+  void SampleDevicePressureLocked(uint64_t now);
+  void EvaluateGateLocked();
+
+  Machine& machine_;
+  const GovernorConfig config_;
+  double dram_headroom_ = 1.0;
+  double target_headroom_ = 1.0;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, RegionBackoff> regions_;  // key: addr >> region_shift
+
+  // Global counters.
+  uint64_t attempts_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t suppressed_by_gate_ = 0;
+  uint64_t suppressed_by_region_ = 0;
+  uint64_t fences_ = 0;
+
+  // Useless-overhead gate state (hysteresis over the fence rate).
+  bool gate_closed_ = false;
+  uint64_t gate_last_attempts_ = 0;
+  uint64_t gate_last_fences_ = 0;
+
+  // Device-pressure sampling.
+  bool under_pressure_ = false;
+  uint64_t last_backlog_ = 0;
+  double last_write_amp_ = 1.0;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_ROBUST_GOVERNOR_H_

@@ -1,0 +1,110 @@
+#include "src/robust/invariants.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/sim/device.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+namespace {
+
+void Violation(std::vector<std::string>* out, const char* device_name,
+               const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->push_back(std::string(device_name) + ": " + buf);
+}
+
+}  // namespace
+
+std::vector<std::string> CheckDeviceInvariants(Device& device,
+                                               uint32_t line_size,
+                                               bool drained) {
+  std::vector<std::string> violations;
+  const DeviceConfig& cfg = device.config();
+  const DeviceStats stats = device.Stats();
+  const char* name = cfg.name.c_str();
+
+  if (stats.bytes_read > 0 && stats.reads == 0) {
+    Violation(&violations, name,
+              "read %" PRIu64 " bytes with zero read accesses",
+              stats.bytes_read);
+  }
+  if (stats.bytes_received > 0 && stats.writes == 0) {
+    Violation(&violations, name,
+              "received %" PRIu64 " bytes with zero write accesses",
+              stats.bytes_received);
+  }
+  if (stats.reads > 0 && stats.bytes_read < stats.reads) {
+    Violation(&violations, name,
+              "%" PRIu64 " reads moved only %" PRIu64 " bytes", stats.reads,
+              stats.bytes_read);
+  }
+  if (stats.writes > 0 && stats.bytes_received < stats.writes) {
+    Violation(&violations, name,
+              "%" PRIu64 " writes moved only %" PRIu64 " bytes", stats.writes,
+              stats.bytes_received);
+  }
+
+  switch (cfg.kind) {
+    case DeviceKind::kDram:
+    case DeviceKind::kFarMemory:
+      // No internal granularity mismatch: media traffic is exactly the
+      // received traffic.
+      if (stats.media_bytes_written != stats.bytes_received) {
+        Violation(&violations, name,
+                  "media bytes (%" PRIu64 ") != received bytes (%" PRIu64
+                  ") on a device without internal blocking",
+                  stats.media_bytes_written, stats.bytes_received);
+      }
+      break;
+    case DeviceKind::kPmem: {
+      // Amplification bounds only hold once the XPBuffer has been drained:
+      // mid-run, received bytes can sit in the buffer with no media write
+      // yet (apparent amplification < 1).
+      if (!drained) {
+        break;
+      }
+      if (stats.media_bytes_written < stats.bytes_received) {
+        Violation(&violations, name,
+                  "after drain, media bytes (%" PRIu64
+                  ") < received bytes (%" PRIu64 ")",
+                  stats.media_bytes_written, stats.bytes_received);
+      }
+      const double ceiling =
+          line_size > 0 && cfg.internal_block_size > line_size
+              ? static_cast<double>(cfg.internal_block_size) / line_size
+              : 1.0;
+      const double wa = stats.WriteAmplification();
+      // A dirty block is flushed whole, so one received line can cost at
+      // most one internal block of media writes.
+      if (wa > ceiling + 1e-9) {
+        Violation(&violations, name,
+                  "write amplification %.4f exceeds ceiling %.4f "
+                  "(internal_block_size=%u line_size=%u)",
+                  wa, ceiling, cfg.internal_block_size, line_size);
+      }
+      break;
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> CheckMachineInvariants(Machine& machine,
+                                                bool drained) {
+  const uint32_t line_size = machine.config().line_size;
+  std::vector<std::string> violations =
+      CheckDeviceInvariants(machine.dram(), line_size, drained);
+  std::vector<std::string> target =
+      CheckDeviceInvariants(machine.target(), line_size, drained);
+  violations.insert(violations.end(), target.begin(), target.end());
+  return violations;
+}
+
+}  // namespace prestore

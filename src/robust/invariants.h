@@ -1,0 +1,36 @@
+// End-of-run invariant checks over the simulator's accounting state.
+//
+// These complement the inline PRESTORE_INVARIANT checks compiled into the
+// hot paths (see src/sim/invariant.h): they are cheap enough to run
+// unconditionally at the end of a measured run, fault-injected or not, and
+// return a report instead of aborting so tests can assert on them.
+#ifndef SRC_ROBUST_INVARIANTS_H_
+#define SRC_ROBUST_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+namespace prestore {
+
+class Device;
+class Machine;
+
+// Checks DeviceStats conservation laws for one device. `drained` means the
+// machine has been FlushAll()ed, so internal buffers are empty and media
+// accounting is complete:
+//  - counters are internally consistent (bytes imply accesses);
+//  - DRAM / far memory: media bytes written == bytes received (no internal
+//    granularity mismatch exists to amplify them);
+//  - PMEM: write amplification within [1, internal_block_size / line_size].
+// Returns human-readable violation descriptions; empty means all hold.
+std::vector<std::string> CheckDeviceInvariants(Device& device,
+                                               uint32_t line_size,
+                                               bool drained);
+
+// Runs CheckDeviceInvariants over both of the machine's devices.
+std::vector<std::string> CheckMachineInvariants(Machine& machine,
+                                                bool drained);
+
+}  // namespace prestore
+
+#endif  // SRC_ROBUST_INVARIANTS_H_

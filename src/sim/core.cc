@@ -229,7 +229,45 @@ void Core::LineLoad(uint64_t line_addr) {
   FillL1(line_addr, /*exclusive=*/false, /*dirty=*/false);
 }
 
+void Core::NoteCleanedLine(uint64_t line_addr) {
+  // Direct-mapped table, allocated on first use (only runs with an installed
+  // PrestoreHook pay for it). A colliding clean evicts the previous entry —
+  // a false negative, never a false positive (slots store the full address).
+  // O(1) per clean and per store keeps hook-observed runs near full speed,
+  // and the capacity covers multi-megabyte rewrite distances (e.g. the IS
+  // rank scatter revisits a cleaned line ~32k cleans later).
+  if (recent_clean_.empty()) {
+    recent_clean_.assign(kCleanTableSize, 0);
+  }
+  recent_clean_[(line_addr >> 6) & (kCleanTableSize - 1)] = line_addr;
+}
+
+void Core::NotifyRewriteIfCleaned(uint64_t line_addr) {
+  if (recent_clean_.empty()) {
+    return;
+  }
+  uint64_t& slot = recent_clean_[(line_addr >> 6) & (kCleanTableSize - 1)];
+  if (slot == line_addr) {
+    slot = 0;  // report each clean at most once
+    // Only a rewrite that catches the line still cached wasted the clean's
+    // writeback (the dirty data would have coalesced in cache); once the
+    // line has been evicted, the writeback was owed regardless of the
+    // clean, so the hint did no harm. Distinguishes Listing-3 / FT-scratch
+    // misuse (L1-resident) and the IS rank scatter (LLC-resident) from
+    // Listing-1's benign far-distance element repeats (long evicted).
+    if (!machine_->LlcResident(line_addr)) {
+      return;
+    }
+    for (PrestoreHook* hook : machine_->prestore_hooks()) {
+      hook->OnRewriteAfterClean(id_, line_addr, now_);
+    }
+  }
+}
+
 void Core::LineStore(uint64_t line_addr) {
+  if (!machine_->prestore_hooks().empty()) {
+    NotifyRewriteIfCleaned(line_addr);
+  }
   WaitPendingWriteback(line_addr);
   {
     std::lock_guard<std::mutex> lock(l1_mu_);
@@ -359,6 +397,9 @@ void Core::Fence() {
   PublishClock();
   ++stats_.fences;
   ++icount_;
+  for (PrestoreHook* hook : machine_->prestore_hooks()) {
+    hook->OnFence(id_, now_);
+  }
   const uint64_t begin = now_;
   uint64_t t = DrainSbAll(now_);
   t = WaitAll(bg_, t);
@@ -435,7 +476,25 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
   const uint64_t ls = config_.line_size;
   const uint64_t first = LineBase(addr, ls);
   const uint64_t last = LineBase(addr + size - 1, ls);
+  const std::vector<PrestoreHook*>& hooks = machine_->prestore_hooks();
   for (uint64_t line = first; line <= last; line += ls) {
+    if (!hooks.empty()) {
+      uint64_t delay = 0;
+      bool drop = false;
+      for (PrestoreHook* hook : hooks) {
+        if (hook->OnPrestoreHint(id_, line, op, now_, &delay) ==
+            HintFate::kDrop) {
+          drop = true;
+        }
+      }
+      now_ += delay;
+      if (drop) {
+        // A suppressed hint issues no instruction: the governor's check is
+        // a predicted branch around the hint, so no issue cycle is charged.
+        ++stats_.prestores_suppressed;
+        continue;
+      }
+    }
     ++icount_;
     now_ += kStoreIssueCost;  // issuing a pre-store is ~1 cycle (§5)
     switch (op) {
@@ -452,8 +511,12 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
           }
           if (in_l1) {
             PushBg(machine_->PublishLineDemote(id_, line, now_));
+          } else {
+            // Not in a private buffer and not in L1: nothing to demote.
+            for (PrestoreHook* hook : hooks) {
+              hook->OnUselessHint(id_, line, op);
+            }
           }
-          // Not in a private buffer and not in L1: nothing to demote.
         }
         break;
       }
@@ -466,10 +529,21 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
           const uint64_t published = machine_->PublishLine(id_, line, now_);
           PushBg(published);
           PushWc(line, machine_->CleanLine(id_, line, published));
+          if (!hooks.empty()) {
+            NoteCleanedLine(line);
+          }
         } else {
           const uint64_t c = machine_->CleanLine(id_, line, now_);
           if (c != now_) {
             PushWc(line, c);
+            if (!hooks.empty()) {
+              NoteCleanedLine(line);
+            }
+          } else {
+            // The line was already clean: the hint moved nothing.
+            for (PrestoreHook* hook : hooks) {
+              hook->OnUselessHint(id_, line, op);
+            }
           }
         }
         break;

@@ -39,6 +39,9 @@ struct CoreStats {
   uint64_t atomics = 0;
   uint64_t prestores_demote = 0;
   uint64_t prestores_clean = 0;
+  // Hints suppressed by an installed PrestoreHook (governor backoff or
+  // injected hint-drop faults). Suppressed hints issue no instruction.
+  uint64_t prestores_suppressed = 0;
   uint64_t nt_lines = 0;
   uint64_t sb_capacity_drains = 0;
   // Cycle attribution (where the core's clock advanced).
@@ -235,6 +238,18 @@ class Core {
     }
     return false;
   }
+
+  // Lines whose dirty data a clean pre-store wrote back (only maintained
+  // while PrestoreHooks are installed): a store to one of them while the
+  // line is still LLC-resident means the writeback was wasted — the
+  // Listing-3 signal the governor feeds on. (Rewrites of long-evicted lines
+  // are benign: their writeback was owed anyway.) Each clean is reported at
+  // most once. Direct-mapped by line address, lazily allocated (512 KiB per
+  // core, but only on hook-observed runs).
+  static constexpr size_t kCleanTableSize = 1 << 16;
+  std::vector<uint64_t> recent_clean_;
+  void NoteCleanedLine(uint64_t line_addr);
+  void NotifyRewriteIfCleaned(uint64_t line_addr);
 
   CoreStats stats_;
 

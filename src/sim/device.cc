@@ -11,7 +11,8 @@ uint64_t DramDevice::Read(uint64_t addr, uint32_t bytes, uint64_t now) {
     stats_.bytes_read += bytes;
   }
   return start + config_.read_latency +
-         static_cast<uint64_t>(bytes * config_.cycles_per_byte);
+         static_cast<uint64_t>(bytes * config_.cycles_per_byte) +
+         FaultLatency(/*is_write=*/false, now);
 }
 
 uint64_t DramDevice::Write(uint64_t addr, uint32_t bytes, uint64_t now) {
@@ -24,7 +25,8 @@ uint64_t DramDevice::Write(uint64_t addr, uint32_t bytes, uint64_t now) {
     stats_.media_bytes_written += bytes;
   }
   return start + config_.write_latency +
-         static_cast<uint64_t>(bytes * config_.cycles_per_byte);
+         static_cast<uint64_t>(bytes * config_.cycles_per_byte) +
+         FaultLatency(/*is_write=*/true, now);
 }
 
 uint64_t PmemDevice::TouchBlock(uint64_t addr, bool dirty, uint64_t now,
@@ -38,6 +40,13 @@ uint64_t PmemDevice::TouchBlock(uint64_t addr, bool dirty, uint64_t now,
   const uint8_t line_bit = static_cast<uint8_t>(
       1u << ((addr % config_.internal_block_size) / 64));
   uint64_t media_work = 0;
+  // Buffer-pressure faults shrink the usable XPBuffer (never below one
+  // slot), forcing early evictions exactly like competing internal traffic.
+  uint32_t capacity = config_.internal_buffer_blocks;
+  if (DeviceFaultHook* hook = fault_hook()) {
+    const uint32_t stolen = hook->StolenBufferBlocks(now);
+    capacity = stolen >= capacity ? 1 : capacity - stolen;
+  }
   {
     std::lock_guard<std::mutex> lock(dimm.mu);
     auto it = dimm.buffer.find(block);
@@ -49,7 +58,7 @@ uint64_t PmemDevice::TouchBlock(uint64_t addr, bool dirty, uint64_t now,
       }
       return 0;  // coalesced: served from the buffer, no media work
     }
-    if (dimm.buffer.size() >= config_.internal_buffer_blocks) {
+    while (dimm.buffer.size() >= capacity) {
       const uint64_t victim = dimm.lru.back();
       dimm.lru.pop_back();
       auto vit = dimm.buffer.find(victim);
@@ -79,6 +88,11 @@ uint64_t PmemDevice::TouchBlock(uint64_t addr, bool dirty, uint64_t now,
   if (media_work == 0) {
     return 0;  // buffered: no media work, no queueing
   }
+  if (DeviceFaultHook* hook = fault_hook()) {
+    media_work = static_cast<uint64_t>(
+        static_cast<double>(media_work) *
+        std::max(1.0, hook->BandwidthCostMultiplier(now)));
+  }
   return dimm.media.Reserve(media_work, now);
 }
 
@@ -94,7 +108,8 @@ uint64_t PmemDevice::Read(uint64_t addr, uint32_t bytes, uint64_t now) {
     stats_.media_bytes_written += flushed;
   }
   return start + config_.read_latency +
-         static_cast<uint64_t>(bytes * config_.cycles_per_byte);
+         static_cast<uint64_t>(bytes * config_.cycles_per_byte) +
+         FaultLatency(/*is_write=*/false, now);
 }
 
 uint64_t PmemDevice::Write(uint64_t addr, uint32_t bytes, uint64_t now) {
@@ -109,7 +124,8 @@ uint64_t PmemDevice::Write(uint64_t addr, uint32_t bytes, uint64_t now) {
     stats_.media_bytes_written += flushed;
   }
   return start + config_.write_latency +
-         static_cast<uint64_t>(bytes * config_.cycles_per_byte);
+         static_cast<uint64_t>(bytes * config_.cycles_per_byte) +
+         FaultLatency(/*is_write=*/true, now);
 }
 
 void PmemDevice::Drain() {
@@ -136,7 +152,8 @@ uint64_t FarMemoryDevice::Read(uint64_t addr, uint32_t bytes, uint64_t now) {
     stats_.bytes_read += bytes;
   }
   return start + config_.read_latency +
-         static_cast<uint64_t>(bytes * config_.cycles_per_byte);
+         static_cast<uint64_t>(bytes * config_.cycles_per_byte) +
+         FaultLatency(/*is_write=*/false, now);
 }
 
 uint64_t FarMemoryDevice::Write(uint64_t addr, uint32_t bytes, uint64_t now) {
@@ -149,7 +166,8 @@ uint64_t FarMemoryDevice::Write(uint64_t addr, uint32_t bytes, uint64_t now) {
     stats_.media_bytes_written += bytes;
   }
   return start + config_.write_latency +
-         static_cast<uint64_t>(bytes * config_.cycles_per_byte);
+         static_cast<uint64_t>(bytes * config_.cycles_per_byte) +
+         FaultLatency(/*is_write=*/true, now);
 }
 
 uint64_t FarMemoryDevice::DirectoryAccess(uint64_t now) {
@@ -160,7 +178,13 @@ uint64_t FarMemoryDevice::DirectoryAccess(uint64_t now) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.directory_accesses;
   }
-  return start + config_.directory_latency;
+  uint64_t extra = 0;
+  if (DeviceFaultHook* hook = fault_hook()) {
+    // Directory-timeout faults: the device-resident directory stops
+    // answering for a window; every line-state change stalls behind it.
+    extra = hook->ExtraDirectoryLatency(now);
+  }
+  return start + config_.directory_latency + extra;
 }
 
 std::unique_ptr<Device> MakeDevice(const DeviceConfig& config) {

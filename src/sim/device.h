@@ -8,6 +8,7 @@
 #ifndef SRC_SIM_DEVICE_H_
 #define SRC_SIM_DEVICE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <list>
@@ -17,6 +18,8 @@
 #include <unordered_map>
 
 #include "src/sim/config.h"
+#include "src/sim/hooks.h"
+#include "src/sim/invariant.h"
 
 namespace prestore {
 
@@ -64,10 +67,14 @@ class BandwidthMeter {
     const uint64_t floor = now > kWindow ? now - kWindow : 0;
     AdvanceRef(floor);
     const uint64_t vr = ref_.load(std::memory_order_relaxed);
+    PRESTORE_INVARIANT(vr >= floor,
+                       "BandwidthMeter reference fell behind requester floor");
     uint64_t work = work_.load(std::memory_order_relaxed);
     uint64_t base = 0;
     do {
       base = work > vr ? work : vr;
+      PRESTORE_INVARIANT(base + cost >= base,
+                         "BandwidthMeter work counter overflow");
     } while (!work_.compare_exchange_weak(work, base + cost,
                                           std::memory_order_relaxed));
     return base > vr ? base - vr : 0;
@@ -89,6 +96,10 @@ class BandwidthMeter {
     while (vr < floor && !ref_.compare_exchange_weak(
                              vr, floor, std::memory_order_relaxed)) {
     }
+    // The CAS loop only ever raises ref_, so the reference is monotone: no
+    // requester may observe it moving backwards in time.
+    PRESTORE_INVARIANT(ref_.load(std::memory_order_relaxed) >= floor,
+                       "BandwidthMeter reference is not monotone");
   }
 
   std::atomic<uint64_t> work_{0};
@@ -136,11 +147,35 @@ class Device {
     stats_ = DeviceStats{};
   }
 
+  // Installs (or clears, with nullptr) the fault-injection hook. Install
+  // before a measured run; the hook must outlive the run.
+  void SetFaultHook(DeviceFaultHook* hook) {
+    fault_hook_.store(hook, std::memory_order_release);
+  }
+
  protected:
+  DeviceFaultHook* fault_hook() const {
+    return fault_hook_.load(std::memory_order_acquire);
+  }
+
+  // Cycles of work `bytes` reserves on a meter, with any active
+  // bandwidth-throttle fault applied.
+  uint64_t TransferCost(uint32_t bytes, uint64_t now, double cpb) const {
+    double cost = static_cast<double>(bytes) * cpb;
+    if (DeviceFaultHook* hook = fault_hook()) {
+      cost *= std::max(1.0, hook->BandwidthCostMultiplier(now));
+    }
+    return static_cast<uint64_t>(cost);
+  }
+
   uint64_t ReserveBandwidth(uint32_t bytes, uint64_t now, double cpb) {
-    return now + interface_.Reserve(
-                     static_cast<uint64_t>(static_cast<double>(bytes) * cpb),
-                     now);
+    return now + interface_.Reserve(TransferCost(bytes, now, cpb), now);
+  }
+
+  // Latency-spike fault contribution for an access issued at `now`.
+  uint64_t FaultLatency(bool is_write, uint64_t now) const {
+    DeviceFaultHook* hook = fault_hook();
+    return hook != nullptr ? hook->ExtraLatency(is_write, now) : 0;
   }
 
   const DeviceConfig config_;
@@ -148,6 +183,7 @@ class Device {
   DeviceStats stats_;
 
   BandwidthMeter interface_;
+  std::atomic<DeviceFaultHook*> fault_hook_{nullptr};
 };
 
 // Conventional DRAM: fixed latency + interface bandwidth; writes to the media

@@ -1,0 +1,90 @@
+// Observation / intervention points the simulator exposes to the robustness
+// layer (src/robust): deterministic fault injection hooks into the device
+// timing paths, and pre-store hint hooks into the core's issue path.
+//
+// Hooks are installed on a Machine (or a Device) BEFORE a measured run and
+// must stay alive until the run finishes; installation is not thread-safe
+// with respect to running cores. All callbacks may be invoked concurrently
+// from every core's host thread and must be internally synchronized.
+#ifndef SRC_SIM_HOOKS_H_
+#define SRC_SIM_HOOKS_H_
+
+#include <cstdint>
+
+#include "src/core/prestore.h"
+
+namespace prestore {
+
+// Device-side fault injection. A null hook (the default) means "no faults";
+// every method must be cheap — they sit on the device timing fast path.
+class DeviceFaultHook {
+ public:
+  virtual ~DeviceFaultHook() = default;
+
+  // Additional cycles added to the completion of a read/write issued at
+  // `now` (latency spike windows).
+  virtual uint64_t ExtraLatency(bool is_write, uint64_t now) = 0;
+
+  // Multiplier (>= 1.0) applied to the cycles-of-work a transfer reserves on
+  // the interface and media meters (bandwidth-throttle windows).
+  virtual double BandwidthCostMultiplier(uint64_t now) = 0;
+
+  // Number of internal write-combining buffer blocks (XPBuffer slots) the
+  // fault steals from a PmemDevice at `now` (buffer-pressure windows). The
+  // device clamps the effective capacity to >= 1.
+  virtual uint32_t StolenBufferBlocks(uint64_t now) = 0;
+
+  // Additional cycles added to a far-memory directory access issued at
+  // `now` (directory-timeout windows).
+  virtual uint64_t ExtraDirectoryLatency(uint64_t now) = 0;
+};
+
+// What a pre-store hint hook decides about one line-granular hint.
+enum class HintFate : uint8_t {
+  kIssue,  // let the hint through
+  kDrop,   // suppress it (no cycles charged, no device work)
+};
+
+// Pre-store issue-path hook: consulted once per line covered by a
+// Core::Prestore call, before the hint issues. Several hooks may be
+// installed (e.g. a fault injector and a governor); a hint issues only if
+// every hook returns kIssue. The observation callbacks fire regardless of
+// which hook dropped the hint.
+class PrestoreHook {
+ public:
+  virtual ~PrestoreHook() = default;
+
+  // Decide the fate of the hint. `*delay_cycles` may be increased to stall
+  // the issuing core before the hint issues (delayed-hint faults).
+  virtual HintFate OnPrestoreHint(uint8_t core, uint64_t line_addr,
+                                  PrestoreOp op, uint64_t now,
+                                  uint64_t* delay_cycles) = 0;
+
+  // The hint issued but moved nothing (demote of an absent line, clean of a
+  // clean line) — the paper's "useless overhead" regime.
+  virtual void OnUselessHint(uint8_t core, uint64_t line_addr, PrestoreOp op) {
+    (void)core;
+    (void)line_addr;
+    (void)op;
+  }
+
+  // A store re-dirtied a line whose data a clean pre-store had written back
+  // — the Listing-3 / §7.4.2 misuse regime (the writeback was wasted).
+  virtual void OnRewriteAfterClean(uint8_t core, uint64_t line_addr,
+                                   uint64_t now) {
+    (void)core;
+    (void)line_addr;
+    (void)now;
+  }
+
+  // The core executed a full fence (signals that publication latency is on
+  // the critical path, i.e. demote/clean hints have something to overlap).
+  virtual void OnFence(uint8_t core, uint64_t now) {
+    (void)core;
+    (void)now;
+  }
+};
+
+}  // namespace prestore
+
+#endif  // SRC_SIM_HOOKS_H_

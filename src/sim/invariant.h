@@ -1,0 +1,29 @@
+// Always-on-able invariant checks for the simulator's shared timing state.
+//
+// Unlike assert(), these survive NDEBUG builds: they are compiled in
+// whenever the PRESTORE_CHECK_INVARIANTS CMake option is ON, independent of
+// the build type, so sanitizer/CI runs can enable them on optimized builds.
+#ifndef SRC_SIM_INVARIANT_H_
+#define SRC_SIM_INVARIANT_H_
+
+#ifdef PRESTORE_CHECK_INVARIANTS
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PRESTORE_INVARIANT(cond, msg)                                       \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PRESTORE_INVARIANT failed at %s:%d: %s (%s)\n", \
+                   __FILE__, __LINE__, msg, #cond);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#else
+
+#define PRESTORE_INVARIANT(cond, msg) ((void)0)
+
+#endif  // PRESTORE_CHECK_INVARIANTS
+
+#endif  // SRC_SIM_INVARIANT_H_

@@ -13,6 +13,7 @@
 #include "src/sim/config.h"
 #include "src/sim/core.h"
 #include "src/sim/device.h"
+#include "src/sim/hooks.h"
 #include "src/trace/trace.h"
 
 namespace prestore {
@@ -88,6 +89,23 @@ class Machine {
     return sink_.load(std::memory_order_acquire);
   }
 
+  // ---- Robustness hooks (install before a measured run; not thread-safe
+  // against running cores; hooks must outlive the run) ----
+
+  // Installs a device-side fault hook on both devices (nullptr clears).
+  void SetDeviceFaultHook(DeviceFaultHook* hook) {
+    dram_->SetFaultHook(hook);
+    target_->SetFaultHook(hook);
+  }
+
+  // Registers a pre-store issue-path hook (fault injector, governor, ...).
+  // A hint issues only if every registered hook allows it.
+  void AddPrestoreHook(PrestoreHook* hook) { prestore_hooks_.push_back(hook); }
+  void ClearPrestoreHooks() { prestore_hooks_.clear(); }
+  const std::vector<PrestoreHook*>& prestore_hooks() const {
+    return prestore_hooks_;
+  }
+
   // ---- Measurement helpers ----
 
   // Aligns every core's local clock to the global maximum (start of a
@@ -141,6 +159,15 @@ class Machine {
     return LineBase(addr, config_.line_size);
   }
 
+  // Non-mutating residency probe against the (inclusive) LLC. Used by the
+  // rewrite-after-clean detector: a rewrite wastes the clean's writeback
+  // only while the line is still cached (absent the clean the dirty data
+  // would have coalesced); a long-evicted line owed its writeback anyway.
+  bool LlcResident(uint64_t line_addr) {
+    std::lock_guard<std::mutex> lock(ShardFor(line_addr));
+    return llc_->Probe(line_addr) != nullptr;
+  }
+
   MachineStats& hierarchy_stats() { return hstats_; }
 
  private:
@@ -177,6 +204,7 @@ class Machine {
   MachineStats hstats_;
   FunctionRegistry registry_;
   std::atomic<TraceSink*> sink_{nullptr};
+  std::vector<PrestoreHook*> prestore_hooks_;
 };
 
 }  // namespace prestore

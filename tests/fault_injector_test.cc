@@ -1,0 +1,210 @@
+// Deterministic fault injection: same plan ⇒ identical schedule and event
+// log; each fault kind has its intended observable effect; accounting
+// invariants survive injection.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/robust/fault_injector.h"
+#include "src/robust/invariants.h"
+#include "src/sim/harness.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+namespace {
+
+FaultPlan MixedPlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.specs.push_back(
+      FaultSpec{FaultKind::kLatencySpike, 50000, 20000, 300.0, 4});
+  plan.specs.push_back(
+      FaultSpec{FaultKind::kBandwidthThrottle, 80000, 30000, 4.0, 3});
+  plan.specs.push_back(
+      FaultSpec{FaultKind::kBufferPressure, 60000, 25000, 6.0, 3});
+  plan.specs.push_back(FaultSpec{FaultKind::kDropHint, 40000, 40000, 0.5, 4});
+  plan.specs.push_back(FaultSpec{FaultKind::kDelayHint, 70000, 30000, 25.0, 3});
+  return plan;
+}
+
+// A single-core Listing-1-ish workload: write an element, clean it, read it.
+void RunWorkload(Machine& machine, uint32_t iters) {
+  const SimAddr buf = machine.Alloc(256 * 64);
+  std::vector<uint8_t> payload(64, 0x5a);
+  RunOnCore(machine, [&](Core& core) {
+    for (uint32_t i = 0; i < iters; ++i) {
+      const SimAddr e = buf + (i % 256) * 64;
+      core.MemCopyToSim(e, payload.data(), payload.size());
+      core.Prestore(e, 64, PrestoreOp::kClean);
+      core.LoadU64(e);
+    }
+  });
+  machine.FlushAll();
+}
+
+TEST(FaultSchedule, SameSeedSameSchedule) {
+  const FaultInjector a(MixedPlan(1234));
+  const FaultInjector b(MixedPlan(1234));
+  ASSERT_EQ(a.schedule().size(), b.schedule().size());
+  for (size_t i = 0; i < a.schedule().size(); ++i) {
+    EXPECT_EQ(a.schedule()[i].kind, b.schedule()[i].kind);
+    EXPECT_EQ(a.schedule()[i].start_cycle, b.schedule()[i].start_cycle);
+    EXPECT_EQ(a.schedule()[i].end_cycle, b.schedule()[i].end_cycle);
+    EXPECT_EQ(a.schedule()[i].magnitude, b.schedule()[i].magnitude);
+  }
+  EXPECT_EQ(a.EventLog(), b.EventLog());
+}
+
+TEST(FaultSchedule, DifferentSeedDifferentSchedule) {
+  const FaultInjector a(MixedPlan(1));
+  const FaultInjector b(MixedPlan(2));
+  EXPECT_NE(a.EventLog(), b.EventLog());
+}
+
+TEST(FaultSchedule, WindowsAreSortedAndSized) {
+  const FaultInjector inj(MixedPlan(99));
+  ASSERT_EQ(inj.schedule().size(), 17u);  // 4 + 3 + 3 + 4 + 3
+  uint64_t prev = 0;
+  for (const FaultWindow& w : inj.schedule()) {
+    EXPECT_GE(w.start_cycle, prev);
+    EXPECT_GT(w.end_cycle, w.start_cycle);
+    prev = w.start_cycle;
+  }
+}
+
+TEST(FaultInjection, EventLogByteIdenticalAcrossRuns) {
+  // Two fresh machines, two fresh injectors, same plan, same single-core
+  // workload: the injected-event logs must match byte for byte.
+  std::string logs[2];
+  for (int run = 0; run < 2; ++run) {
+    Machine machine(MachineA(1));
+    FaultInjector injector(MixedPlan(777));
+    injector.Attach(machine);
+    RunWorkload(machine, 4000);
+    logs[run] = injector.EventLog();
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+  // The run is long enough to cross the drop/delay windows, so the log must
+  // contain per-hint interventions, not just the schedule.
+  EXPECT_NE(logs[0].find("hint core=0"), std::string::npos);
+}
+
+TEST(FaultInjection, LatencySpikeSlowsTheRun) {
+  const uint32_t iters = 3000;
+  uint64_t cycles[2];
+  for (int faulty = 0; faulty < 2; ++faulty) {
+    Machine machine(MachineA(1));
+    FaultPlan plan;
+    plan.seed = 5;
+    if (faulty != 0) {
+      // One giant spike covering essentially the whole run.
+      plan.specs.push_back(
+          FaultSpec{FaultKind::kLatencySpike, 2, 1ULL << 40, 500.0, 1});
+    }
+    FaultInjector injector(plan);
+    injector.Attach(machine);
+    const SimAddr buf = machine.Alloc(1024 * 64);
+    std::vector<uint8_t> payload(64, 1);
+    cycles[faulty] = RunOnCore(machine, [&](Core& core) {
+      for (uint32_t i = 0; i < iters; ++i) {
+        // Load misses go straight to the device, so the spike is visible.
+        core.LoadU64(buf + (i % 1024) * 64);
+        core.MemCopyToSim(buf + (i % 1024) * 64, payload.data(), 64);
+      }
+    });
+  }
+  EXPECT_GT(cycles[1], cycles[0]);
+}
+
+TEST(FaultInjection, DropFaultSuppressesHints) {
+  Machine machine(MachineA(1));
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.specs.push_back(
+      FaultSpec{FaultKind::kDropHint, 2, 1ULL << 40, 1.0, 1});
+  FaultInjector injector(plan);
+  injector.Attach(machine);
+  RunWorkload(machine, 500);
+  const CoreStats& stats = machine.core(0).stats();
+  // Drop probability 1.0 over the whole run: every hint is suppressed and
+  // none reaches the issue path. (The schedule's first window starts a
+  // couple of cycles into the run, so the very first hint may slip through.)
+  EXPECT_GE(stats.prestores_suppressed, 499u);
+  EXPECT_LE(stats.prestores_clean, 1u);
+  EXPECT_EQ(stats.prestores_suppressed + stats.prestores_clean, 500u);
+}
+
+TEST(FaultInjection, BufferPressureRaisesWriteAmplification) {
+  // Alternate single-line writes between two internal blocks. With the full
+  // XPBuffer both blocks stay resident and each flushes once at drain; with
+  // the buffer squeezed to one block every write evicts the other block, so
+  // the media sees one full block per write.
+  DeviceConfig cfg;
+  cfg.kind = DeviceKind::kPmem;
+  cfg.name = "pmem";
+  cfg.interleave_dimms = 1;
+  cfg.internal_buffer_blocks = 2;
+  const uint32_t kIters = 64;
+
+  uint64_t media[2];
+  for (int faulty = 0; faulty < 2; ++faulty) {
+    auto device = MakeDevice(cfg);
+    FaultPlan plan;
+    plan.seed = 3;
+    if (faulty != 0) {
+      // Steal one of the two buffer blocks for the whole run.
+      plan.specs.push_back(
+          FaultSpec{FaultKind::kBufferPressure, 2, 1ULL << 40, 1.0, 1});
+    }
+    FaultInjector injector(plan);
+    device->SetFaultHook(&injector);
+    uint64_t now = 1000;
+    for (uint32_t i = 0; i < kIters; ++i) {
+      const uint64_t addr = (i % 2) * cfg.internal_block_size;
+      now = device->Write(addr, 64, now) + 500;
+    }
+    device->Drain();
+    media[faulty] = device->Stats().media_bytes_written;
+  }
+  EXPECT_EQ(media[0], 2ULL * cfg.internal_block_size);
+  EXPECT_GE(media[1], (kIters - 1) * cfg.internal_block_size);
+}
+
+TEST(FaultInjection, DirectoryTimeoutSlowsFarMemory) {
+  DeviceConfig cfg;
+  cfg.kind = DeviceKind::kFarMemory;
+  cfg.name = "far";
+  auto device = MakeDevice(cfg);
+  const uint64_t base = device->DirectoryAccess(10000) - 10000;
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.specs.push_back(
+      FaultSpec{FaultKind::kDirectoryTimeout, 2, 1ULL << 40, 4000.0, 1});
+  FaultInjector injector(plan);
+  device->SetFaultHook(&injector);
+  const uint64_t faulted = device->DirectoryAccess(10000) - 10000;
+  EXPECT_EQ(faulted, base + 4000);
+}
+
+TEST(FaultInjection, InvariantsHoldUnderInjection) {
+  Machine machine(MachineA(1));
+  FaultInjector injector(MixedPlan(2026));
+  injector.Attach(machine);
+  RunWorkload(machine, 6000);
+  const std::vector<std::string> violations =
+      CheckMachineInvariants(machine, /*drained=*/true);
+  for (const std::string& v : violations) {
+    ADD_FAILURE() << v;
+  }
+}
+
+TEST(Invariants, CleanRunPassesChecks) {
+  Machine machine(MachineA(1));
+  RunWorkload(machine, 2000);
+  EXPECT_TRUE(CheckMachineInvariants(machine, /*drained=*/true).empty());
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,87 @@
+// RunParallel robustness: worker exceptions propagate to the caller (instead
+// of std::terminate), and the wall-clock watchdog aborts wedged runs with
+// per-core diagnostics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "src/sim/harness.h"
+#include "src/sim/machine.h"
+
+namespace prestore {
+namespace {
+
+TEST(RunParallelExceptions, WorkerExceptionPropagates) {
+  Machine machine(MachineA(2));
+  EXPECT_THROW(
+      RunParallel(machine, 2,
+                  [](Core& core, uint32_t tid) {
+                    core.Execute(10);
+                    if (tid == 1) {
+                      throw std::runtime_error("worker failed");
+                    }
+                  }),
+      std::runtime_error);
+}
+
+TEST(RunParallelExceptions, FirstExceptionWinsAndAllWorkersJoin) {
+  Machine machine(MachineA(4));
+  std::atomic<int> completed{0};
+  try {
+    RunParallel(machine, 4, [&](Core& core, uint32_t tid) {
+      core.Execute(10);
+      if (tid == 0) {
+        throw std::logic_error("first");
+      }
+      // The other workers keep running and must be joined, not abandoned.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ++completed;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(RunParallelExceptions, SingleThreadInlinePathPropagates) {
+  Machine machine(MachineA(1));
+  EXPECT_THROW(RunParallel(machine, 1,
+                           [](Core&, uint32_t) {
+                             throw std::runtime_error("inline");
+                           }),
+               std::runtime_error);
+}
+
+TEST(RunParallelWatchdog, CompletedRunIsUnaffected) {
+  Machine machine(MachineA(2));
+  RunParallelOptions options;
+  options.watchdog_ms = 10000;
+  const uint64_t cycles = RunParallel(
+      machine, 2, [](Core& core, uint32_t) { core.Execute(1000); }, options);
+  EXPECT_GE(cycles, 1000u);
+}
+
+TEST(RunParallelWatchdogDeathTest, AbortsWedgedRunWithDiagnostics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Machine machine(MachineA(2));
+  RunParallelOptions options;
+  options.watchdog_ms = 200;
+  EXPECT_DEATH(
+      RunParallel(
+          machine, 2,
+          [](Core& core, uint32_t tid) {
+            core.Execute(100);
+            if (tid == 1) {  // core 1 wedges (host-time stall)
+              std::this_thread::sleep_for(std::chrono::seconds(60));
+            }
+          },
+          options),
+      "RunParallel watchdog.*STILL RUNNING");
+}
+
+}  // namespace
+}  // namespace prestore

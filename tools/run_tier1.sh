@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite twice --
+#   1. a plain release-ish build (what CI and the benches use), and
+#   2. a hardened build: ASan+UBSan with the simulator's internal invariant
+#      checkers compiled in (PRESTORE_CHECK_INVARIANTS) and the RunParallel
+#      watchdog armed so a wedged worker aborts with diagnostics instead of
+#      hanging the suite.
+#
+# Usage: tools/run_tier1.sh [--fast]
+#   --fast  skip the sanitizer pass (plain build only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+# A wedged worker thread should fail loudly, not hang CI. 120s is far above
+# the slowest tier-1 test's per-RunParallel time.
+export PRESTORE_WATCHDOG_MS="${PRESTORE_WATCHDOG_MS:-120000}"
+
+run_pass() {
+  local build_dir="$1"
+  shift
+  echo "==> configure ${build_dir} ($*)"
+  cmake -B "${build_dir}" -S . "$@" >/dev/null
+  echo "==> build ${build_dir}"
+  cmake --build "${build_dir}" -j >/dev/null
+  echo "==> ctest ${build_dir}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+run_pass build
+
+if [[ "${FAST}" == "0" ]]; then
+  # Death tests fork under sanitizers; keep the ASan quarantine small so the
+  # parallel suite fits in modest CI memory.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-quarantine_size_mb=64}"
+  run_pass build-sanitize \
+    -DPRESTORE_SANITIZE=address,undefined \
+    -DPRESTORE_CHECK_INVARIANTS=ON
+fi
+
+echo "==> tier-1 gate passed"
