@@ -70,13 +70,32 @@ inline bool CheckValue(Core& core, SimAddr addr, uint32_t size, uint64_t key) {
 
 // Per-thread ring of value slots: models an allocator that recycles value
 // buffers (keys always point at the most recently crafted slot).
+//
+// `align` overrides the base alignment (0 = one buffer-sized power of two up
+// to a page). The serving subsystem aligns each shard's arena to the
+// governor's region size so that per-shard telemetry maps one-to-one onto
+// governor regions.
+//
+// `phase` offsets the slots within the (aligned) allocation. Aligned bases
+// are congruent modulo the target's DIMM-interleave period, so identical
+// arenas would map equal slot indexes to the same DIMM — and sequential
+// slot cursors advancing at similar rates then hammer one DIMM in lockstep
+// while its siblings idle. A caller with several arenas passes a distinct
+// interleave-page multiple per arena to spread the cursors across DIMMs.
+// The allocation is padded to a whole number of alignment units, so every
+// aligned unit the slots touch still belongs to this arena alone (span()).
 class ValueArena {
  public:
-  ValueArena(Machine& machine, uint32_t slots, uint32_t value_size)
-      : base_(machine.Alloc(static_cast<uint64_t>(slots) * value_size,
-                            Region::kTarget,
-                            std::min<uint64_t>(4096, std::bit_ceil(
-                                                         value_size)))),
+  ValueArena(Machine& machine, uint32_t slots, uint32_t value_size,
+             uint64_t align = 0, uint64_t phase = 0)
+      : span_(static_cast<uint64_t>(slots) * value_size + phase),
+        base_(machine.Alloc(
+                  align != 0 ? (span_ + align - 1) / align * align : span_,
+                  Region::kTarget,
+                  align != 0
+                      ? align
+                      : std::min<uint64_t>(4096, std::bit_ceil(value_size))) +
+              phase),
         slots_(slots),
         value_size_(value_size) {}
 
@@ -87,8 +106,19 @@ class ValueArena {
   }
 
   uint32_t value_size() const { return value_size_; }
+  SimAddr base() const { return base_; }
+  uint64_t bytes() const {
+    return static_cast<uint64_t>(slots_) * value_size_;
+  }
+  // The slot span including the leading phase offset: [base() - phase,
+  // base() + bytes()). Telemetry that maps aligned regions to arenas must
+  // use this (the slots alone start `phase` bytes into the first region;
+  // the allocation's trailing padding never receives hints).
+  SimAddr span_base() const { return base_ + bytes() - span_; }
+  uint64_t span_bytes() const { return span_; }
 
  private:
+  uint64_t span_;
   SimAddr base_;
   uint32_t slots_;
   uint32_t value_size_;

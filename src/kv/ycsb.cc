@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "src/sim/harness.h"
@@ -10,9 +11,7 @@
 
 namespace prestore {
 
-namespace {
-
-double ReadRatio(YcsbWorkload w) {
+double YcsbReadRatio(YcsbWorkload w) {
   switch (w) {
     case YcsbWorkload::kA:
     case YcsbWorkload::kF:
@@ -26,9 +25,41 @@ double ReadRatio(YcsbWorkload w) {
   return 0.5;
 }
 
+namespace {
+
+void RequireValid(const YcsbConfig& config) {
+  const std::string error = config.Validate();
+  if (!error.empty()) {
+    throw std::invalid_argument("YcsbConfig: " + error);
+  }
+}
+
 }  // namespace
 
+std::string YcsbConfig::Validate() const {
+  if (num_keys == 0) {
+    return "num_keys must be > 0";
+  }
+  if (threads == 0) {
+    return "threads must be > 0";
+  }
+  if (value_size == 0 || value_size % 8 != 0) {
+    return "value_size must be a positive multiple of 8";
+  }
+  if (arena_slots == 0) {
+    return "arena_slots must be > 0";
+  }
+  // theta == 1.0 makes the zipfian alpha exponent 1/(1-theta) infinite;
+  // theta > 1 needs the other branch of the YCSB formula, which this
+  // generator does not implement.
+  if (zipf_theta < 0.0 || zipf_theta >= 1.0) {
+    return "zipf_theta must be in [0, 1)";
+  }
+  return "";
+}
+
 void YcsbLoad(Machine& machine, KvStore& store, const YcsbConfig& config) {
+  RequireValid(config);
   const FuncToken craft_func{
       machine.registry().Intern("craftValue", "ycsb.cc:55")};
   const uint64_t per_thread =
@@ -57,6 +88,7 @@ void YcsbLoad(Machine& machine, KvStore& store, const YcsbConfig& config) {
 
 YcsbResult YcsbRun(Machine& machine, KvStore& store,
                    const YcsbConfig& config) {
+  RequireValid(config);
   const FuncToken craft_func{
       machine.registry().Intern("craftValue", "ycsb.cc:55")};
   const FuncToken read_func{
@@ -75,7 +107,7 @@ YcsbResult YcsbRun(Machine& machine, KvStore& store,
       machine, config.threads, [&](Core& core, uint32_t tid) {
         Xoshiro256 rng(config.seed * 1315423911ULL + tid);
         ZipfianGenerator zipf(config.num_keys, config.zipf_theta);
-        const double read_ratio = ReadRatio(config.workload);
+        const double read_ratio = YcsbReadRatio(config.workload);
         uint64_t local_failed = 0;
         for (uint32_t op = 0; op < config.ops_per_thread; ++op) {
           uint64_t key;

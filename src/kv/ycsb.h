@@ -3,6 +3,7 @@
 #define SRC_KV_YCSB_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/kv/kvstore.h"
 #include "src/sim/machine.h"
@@ -28,6 +29,14 @@ struct YcsbConfig {
   uint64_t seed = 42;
   // Value-buffer slots recycled per thread (allocator model).
   uint32_t arena_slots = 2048;
+
+  // Returns "" when the configuration is usable, else a description of the
+  // first problem found. The silent failure modes this guards against:
+  // threads == 0 deadlocks the harness arithmetic, zipf_theta == 1.0 makes
+  // the generator's alpha exponent infinite, arena_slots == 0 divides by
+  // zero in ValueArena::NextSlot, and a value_size that is 0 or not a
+  // multiple of 8 breaks CraftValue's word loop.
+  std::string Validate() const;
 };
 
 struct YcsbResult {
@@ -45,10 +54,17 @@ struct YcsbResult {
   }
 };
 
+// Fraction of operations that are reads for `workload` (the YCSB mix;
+// kF's read-modify-writes count as writes). Shared with the serving
+// subsystem's load generator.
+double YcsbReadRatio(YcsbWorkload workload);
+
 // Preloads `num_keys` keys (1..num_keys) with crafted values.
+// Throws std::invalid_argument when config.Validate() reports a problem.
 void YcsbLoad(Machine& machine, KvStore& store, const YcsbConfig& config);
 
 // Runs the transaction phase and reports simulated cycles + device stats.
+// Throws std::invalid_argument when config.Validate() reports a problem.
 YcsbResult YcsbRun(Machine& machine, KvStore& store, const YcsbConfig& config);
 
 }  // namespace prestore

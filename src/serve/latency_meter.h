@@ -1,0 +1,69 @@
+// Client-side request-latency accounting for the serving subsystem.
+//
+// Each client core owns one meter (no synchronization inside); the load
+// generator merges them after the run and queries per-op percentiles.
+// Latencies are simulated cycles from submission (closed loop: the actual
+// submit; open loop: the SCHEDULED send time, so queueing delay from a
+// saturated server is charged to the request — no coordinated omission).
+#ifndef SRC_SERVE_LATENCY_METER_H_
+#define SRC_SERVE_LATENCY_METER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/serve/request.h"
+#include "src/util/stats.h"
+
+namespace prestore {
+
+// What a meter answers: per-op-type tail latency.
+struct LatencySummary {
+  uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+class LatencyMeter {
+ public:
+  void Add(ServeOp op, uint64_t cycles) {
+    SamplesFor(op).push_back(static_cast<double>(cycles));
+  }
+
+  void Merge(const LatencyMeter& other) {
+    get_.insert(get_.end(), other.get_.begin(), other.get_.end());
+    put_.insert(put_.end(), other.put_.begin(), other.put_.end());
+  }
+
+  LatencySummary Summary(ServeOp op) const {
+    const std::vector<double>& samples =
+        op == ServeOp::kGet ? get_ : put_;
+    LatencySummary s;
+    s.count = samples.size();
+    if (samples.empty()) {
+      return s;
+    }
+    Percentiles p;
+    for (double x : samples) {
+      p.Add(x);
+      s.max = x > s.max ? x : s.max;
+    }
+    s.p50 = p.At(50.0);
+    s.p95 = p.At(95.0);
+    s.p99 = p.At(99.0);
+    return s;
+  }
+
+ private:
+  std::vector<double>& SamplesFor(ServeOp op) {
+    return op == ServeOp::kGet ? get_ : put_;
+  }
+
+  std::vector<double> get_;
+  std::vector<double> put_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_SERVE_LATENCY_METER_H_

@@ -1,0 +1,55 @@
+// Closed- and open-loop YCSB load generator for the KV server (§9).
+#ifndef SRC_SERVE_LOADGEN_H_
+#define SRC_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/serve/latency_meter.h"
+#include "src/serve/server.h"
+
+namespace prestore {
+
+struct ServeResult {
+  uint64_t cycles = 0;
+  uint64_t ops = 0;          // requests answered (gets + puts)
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t failed_gets = 0;  // GET misses (should be 0 after preload)
+  uint64_t retries = 0;      // admission-queue-full backpressure events
+  uint64_t batches = 0;      // shard batches executed
+  double write_amplification = 1.0;  // target-device media/cpu write ratio
+  LatencySummary get_latency;        // simulated cycles, client-observed
+  LatencySummary put_latency;
+  std::vector<ShardPolicy> shard_policies;  // empty when ungoverned
+
+  double ThroughputPerMcycle() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(ops) * 1e6 /
+                             static_cast<double>(cycles);
+  }
+  double BatchFill() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(puts + gets) /
+                              static_cast<double>(batches);
+  }
+};
+
+// Runs one serving window: shard workers on cores [0, num_shards), clients
+// on cores [num_shards, num_shards + threads). Preloads the server on first
+// use, then measures the serving phase alone (stats reset after preload,
+// FlushAll on both sides so media accounting covers all traffic).
+//
+// Client op mix reuses the YCSB distributions: zipfian (scrambled) keys,
+// YcsbReadRatio(workload) read fraction. Closed loop runs kD's read-latest
+// bias and kF's read-modify-write (a GET awaited before the PUT); the open
+// loop issues kF writes as plain PUTs (an open-loop client cannot stall on
+// the read half without perturbing its arrival process).
+//
+// Callable repeatedly on the same server (e.g. a misuse phase followed by a
+// recovery phase against the same governed arenas).
+ServeResult ServeYcsb(Machine& machine, KvServer& server);
+
+}  // namespace prestore
+
+#endif  // SRC_SERVE_LOADGEN_H_

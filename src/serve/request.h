@@ -1,0 +1,53 @@
+// Wire format of the serving subsystem's admission and response queues.
+//
+// Requests and responses travel through X9Inbox message slots, so both
+// structs are fixed-size trivially-copyable PODs: the producer fills a
+// host-side struct and X9Inbox::TryWrite copies it into the simulated slot
+// byte-for-byte (and, on the response path, demotes the freshly filled
+// reply buffer — the §7.3.2 pattern).
+#ifndef SRC_SERVE_REQUEST_H_
+#define SRC_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "src/sim/machine.h"
+
+namespace prestore {
+
+enum class ServeOp : uint64_t {
+  kGet = 0,
+  kPut = 1,
+};
+
+// Client -> shard admission queue.
+struct RequestMsg {
+  uint64_t op = 0;  // ServeOp
+  uint64_t key = 0;
+  uint64_t client = 0;       // response inbox index
+  uint64_t seq = 0;          // client-local sequence number, echoed back
+  uint64_t submit_time = 0;  // client clock at submission (echoed back)
+};
+
+// Shard -> client response queue.
+struct ResponseMsg {
+  uint64_t op = 0;  // ServeOp (echo)
+  uint64_t seq = 0;
+  uint64_t status = 0;       // 1 = ok / key found, 0 = GET miss
+  uint64_t value_addr = 0;   // simulated address of the value (GET hit / PUT)
+  uint64_t submit_time = 0;  // echo, for client-side latency accounting
+  // Shard worker clock when the request finished service (>= submit_time:
+  // the worker clamps its clock to submit_time before serving). Latency is
+  // accounted as completion_time - submit_time — both ends are sim-time
+  // events of the request itself, so the number cannot be polluted by the
+  // observing client's clock (which drifts with poll costs and, in the open
+  // loop, runs ahead on its arrival schedule).
+  uint64_t completion_time = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<RequestMsg>);
+static_assert(std::is_trivially_copyable_v<ResponseMsg>);
+
+}  // namespace prestore
+
+#endif  // SRC_SERVE_REQUEST_H_

@@ -1,0 +1,114 @@
+// Configuration of the sharded KV serving subsystem (DESIGN.md §9).
+#ifndef SRC_SERVE_SERVE_CONFIG_H_
+#define SRC_SERVE_SERVE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/kv/ycsb.h"
+#include "src/msg/x9.h"
+#include "src/robust/governor_policy.h"
+
+namespace prestore {
+
+// Which KV index backs each shard.
+enum class ServeIndex : uint8_t {
+  kClht,
+  kMasstree,
+};
+
+struct ServeConfig {
+  // Workload shape, reused from the YCSB driver: `ycsb.threads` is the
+  // number of client cores, `ycsb.ops_per_thread` the requests per client,
+  // and num_keys / value_size / workload / zipf_theta / seed / arena_slots
+  // keep their meanings (arena_slots is the per-SHARD value ring).
+  // `ycsb.policy` is ignored: the server owns the pre-store placement
+  // (batched clean sweep + response demote), that being the point of §9.
+  YcsbConfig ycsb;
+
+  ServeIndex index = ServeIndex::kClht;
+  uint32_t num_shards = 2;
+
+  // Queue capacities; X9Inbox requires powers of two.
+  uint32_t queue_slots = 64;     // per-shard admission queue
+  uint32_t response_slots = 16;  // per-client response queue
+
+  // Request batching: a shard worker that has admitted one request keeps
+  // polling for more until it holds `batch_max` of them or the batch has
+  // been open for `batch_window_cycles`; the batch then executes and — when
+  // `batched_clean` is set — closes with one clean pre-store sweep over the
+  // value-arena slots the batch dirtied (§7.2.3 applied to a server loop).
+  uint32_t batch_max = 8;
+  uint64_t batch_window_cycles = 4000;
+  bool batched_clean = true;
+
+  // Response publication: demote by default (reply buffers are reused and
+  // read by another core — DirtBuster's recommendation for §7.3.2 buffers).
+  MsgPrestore response_prestore = MsgPrestore::kDemote;
+
+  // Online policy loop: when set, the server owns a PrestoreGovernor
+  // attached to the machine, and aligns each shard's value arena to the
+  // governor's region size so per-shard rewrite/useless telemetry lands in
+  // that shard's own regions — a misbehaving shard backs off independently.
+  bool governed = false;
+  GovernorConfig governor;
+
+  // Load generation. Closed loop: each client keeps exactly one request
+  // outstanding. Open loop: clients fire a request every
+  // `open_loop_interval` cycles (up to `max_inflight` outstanding, which
+  // must fit the response queue or the shard worker could wedge on a full
+  // reply ring).
+  bool open_loop = false;
+  uint64_t open_loop_interval = 2000;
+  uint32_t max_inflight = 4;
+
+  // Backpressure: a full admission queue rejects the submit (TryWrite
+  // returns false) and the client retries after this many cycles.
+  uint64_t retry_backoff_cycles = 200;
+
+  // Measurement settle window: responses to requests submitted within the
+  // first `settle_cycles` of a run are served normally and counted in the
+  // op totals, but excluded from the latency meter. A run starts with a
+  // deterministic queueing transient (the first requests miss everywhere,
+  // their long service times build a backlog that drains over many
+  // arrival intervals); percentiles over the whole run measure that
+  // transient, not steady-state serving. 0 = measure everything.
+  uint64_t settle_cycles = 0;
+
+  // Returns "" when usable, else a description of the first problem.
+  std::string Validate() const {
+    const std::string ycsb_error = ycsb.Validate();
+    if (!ycsb_error.empty()) {
+      return ycsb_error;
+    }
+    if (num_shards == 0) {
+      return "num_shards must be > 0";
+    }
+    if (num_shards + ycsb.threads > 255) {
+      return "num_shards + clients must fit the machine's core-id space";
+    }
+    if (queue_slots == 0 || (queue_slots & (queue_slots - 1)) != 0) {
+      return "queue_slots must be a power of two";
+    }
+    if (response_slots == 0 || (response_slots & (response_slots - 1)) != 0) {
+      return "response_slots must be a power of two";
+    }
+    if (batch_max == 0) {
+      return "batch_max must be > 0";
+    }
+    if (open_loop) {
+      if (open_loop_interval == 0) {
+        return "open_loop_interval must be > 0";
+      }
+      if (max_inflight == 0 || max_inflight > response_slots) {
+        return "max_inflight must be in [1, response_slots] (a shard worker "
+               "blocks on a full response queue)";
+      }
+    }
+    return "";
+  }
+};
+
+}  // namespace prestore
+
+#endif  // SRC_SERVE_SERVE_CONFIG_H_

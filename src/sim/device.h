@@ -90,6 +90,17 @@ class BandwidthMeter {
     return work > vr ? work - vr : 0;
   }
 
+  // Retires all scheduled work, modeling idle wall-clock time passing until
+  // the device catches up (the "sleep after the load phase" every real
+  // experiment does before its measurement window). Advancing only the
+  // reference is safe for requesters whose clocks lag it: delays are
+  // computed against max(work, ref), so a quiesced meter simply reports no
+  // queueing until new work accumulates. Call only between measured runs.
+  void Quiesce() {
+    const uint64_t work = work_.load(std::memory_order_relaxed);
+    AdvanceRef(work);
+  }
+
  private:
   void AdvanceRef(uint64_t floor) {
     uint64_t vr = ref_.load(std::memory_order_relaxed);
@@ -127,6 +138,12 @@ class Device {
 
   // Drains internal buffers (accounting only; used at end of measurement).
   virtual void Drain() {}
+
+  // Retires any queued interface/media work without advancing core clocks:
+  // the load phase's eviction and flush traffic must not carry queueing
+  // delay into the measurement window (see BandwidthMeter::Quiesce). Call
+  // only between measured runs.
+  virtual void Quiesce() { interface_.Quiesce(); }
 
   // Diagnostics: cycles of internal (media) work the device is behind, as
   // seen at local time `now`. 0 for devices without an internal stage.
@@ -222,6 +239,13 @@ class PmemDevice : public Device {
       max_backlog = std::max(max_backlog, d.media.BacklogAt(now));
     }
     return max_backlog;
+  }
+
+  void Quiesce() override {
+    Device::Quiesce();
+    for (Dimm& d : dimms_) {
+      d.media.Quiesce();
+    }
   }
 
  private:

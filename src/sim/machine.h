@@ -117,6 +117,15 @@ class Machine {
   uint64_t ApproxGlobalTime() const;
   void ResetStats();
 
+  // Retires all queued device work (interface and media meters), modeling
+  // the idle gap every real experiment leaves between its load phase and
+  // its measurement window. Pair with FlushAll + ResetStats when a run's
+  // latency numbers must not inherit the preload's eviction backlog.
+  void QuiesceDevices() {
+    dram_->Quiesce();
+    target_->Quiesce();
+  }
+
   // Publishes all private stores, writes every dirty line back and drains
   // device buffers, so that media-byte accounting covers all traffic.
   void FlushAll();

@@ -1,0 +1,83 @@
+// YcsbConfig::Validate: the silent-misbehaviour configurations (threads = 0,
+// zipf_theta = 1.0, zero arena_slots, ...) must be rejected with a clear
+// error, both directly and on the driver entry points.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/kv/clht.h"
+#include "src/kv/ycsb.h"
+
+namespace prestore {
+namespace {
+
+TEST(YcsbConfigValidate, DefaultConfigIsValid) {
+  EXPECT_EQ(YcsbConfig{}.Validate(), "");
+}
+
+TEST(YcsbConfigValidate, RejectsZeroThreads) {
+  YcsbConfig cfg;
+  cfg.threads = 0;
+  EXPECT_NE(cfg.Validate().find("threads"), std::string::npos);
+}
+
+TEST(YcsbConfigValidate, RejectsZeroKeys) {
+  YcsbConfig cfg;
+  cfg.num_keys = 0;
+  EXPECT_NE(cfg.Validate().find("num_keys"), std::string::npos);
+}
+
+TEST(YcsbConfigValidate, RejectsZeroArenaSlots) {
+  YcsbConfig cfg;
+  cfg.arena_slots = 0;
+  EXPECT_NE(cfg.Validate().find("arena_slots"), std::string::npos);
+}
+
+TEST(YcsbConfigValidate, RejectsBadValueSizes) {
+  YcsbConfig cfg;
+  cfg.value_size = 0;
+  EXPECT_NE(cfg.Validate().find("value_size"), std::string::npos);
+  cfg.value_size = 100;  // not a multiple of 8: CraftValue strides words
+  EXPECT_NE(cfg.Validate().find("value_size"), std::string::npos);
+  cfg.value_size = 96;
+  EXPECT_EQ(cfg.Validate(), "");
+}
+
+TEST(YcsbConfigValidate, RejectsDegenerateZipfTheta) {
+  YcsbConfig cfg;
+  cfg.zipf_theta = 1.0;  // alpha = 1/(1-theta) blows up
+  EXPECT_NE(cfg.Validate().find("zipf_theta"), std::string::npos);
+  cfg.zipf_theta = -0.1;
+  EXPECT_NE(cfg.Validate().find("zipf_theta"), std::string::npos);
+  cfg.zipf_theta = 0.0;  // uniform is fine
+  EXPECT_EQ(cfg.Validate(), "");
+  cfg.zipf_theta = 0.99;
+  EXPECT_EQ(cfg.Validate(), "");
+}
+
+TEST(YcsbConfigValidate, DriverThrowsOnInvalidConfig) {
+  Machine machine(MachineA(1));
+  ClhtMap store(machine, 64);
+  YcsbConfig cfg;
+  cfg.num_keys = 128;
+  cfg.threads = 0;
+  EXPECT_THROW(YcsbLoad(machine, store, cfg), std::invalid_argument);
+  EXPECT_THROW(YcsbRun(machine, store, cfg), std::invalid_argument);
+}
+
+TEST(YcsbConfigValidate, DriverAcceptsValidConfig) {
+  Machine machine(MachineA(1));
+  ClhtMap store(machine, 64);
+  YcsbConfig cfg;
+  cfg.num_keys = 64;
+  cfg.threads = 1;
+  cfg.ops_per_thread = 32;
+  cfg.value_size = 64;
+  EXPECT_NO_THROW(YcsbLoad(machine, store, cfg));
+  const YcsbResult result = YcsbRun(machine, store, cfg);
+  EXPECT_EQ(result.ops, 32u);
+  EXPECT_EQ(result.failed_gets, 0u);
+}
+
+}  // namespace
+}  // namespace prestore

@@ -21,11 +21,19 @@ fi
 # the slowest tier-1 test's per-RunParallel time.
 export PRESTORE_WATCHDOG_MS="${PRESTORE_WATCHDOG_MS:-120000}"
 
+# CI caches compilations across runs; locally this is a no-op unless ccache
+# is installed.
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache
+                 -DCMAKE_C_COMPILER_LAUNCHER=ccache)
+fi
+
 run_pass() {
   local build_dir="$1"
   shift
   echo "==> configure ${build_dir} ($*)"
-  cmake -B "${build_dir}" -S . "$@" >/dev/null
+  cmake -B "${build_dir}" -S . "${LAUNCHER_ARGS[@]}" "$@" >/dev/null
   echo "==> build ${build_dir}"
   cmake --build "${build_dir}" -j >/dev/null
   echo "==> ctest ${build_dir}"
@@ -33,6 +41,13 @@ run_pass() {
 }
 
 run_pass build
+
+# Serve end-to-end gate: the ctest pass above already runs serve_test,
+# serve_fault_test, and ycsb_config_test (registered in tests/CMakeLists.txt);
+# this additionally exercises the full CLI request path -- preload, sharded
+# serve loop, policy loop, results table -- the way a user runs it.
+echo "==> serve smoke (kv_server_cli --smoke)"
+./build/tools/kv_server_cli --smoke >/dev/null
 
 if [[ "${FAST}" == "0" ]]; then
   # Death tests fork under sanitizers; keep the ASan quarantine small so the
