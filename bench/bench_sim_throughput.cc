@@ -1,0 +1,155 @@
+// Sim-throughput benchmark tier (ISSUE 5 / DESIGN.md §10): how fast does
+// the ENGINE run on the host? Every other bench in this directory reports
+// simulated cycles; this one reports host-side simulated-accesses/sec while
+// replaying a fixed multi-core YCSB-like trace at 1/2/4/8 worker cores, so
+// the engine's own scalability — the thing the fast-path rework targets —
+// is finally tracked as a first-class result (BENCH_sim_throughput.json).
+//
+// Before measuring, a determinism self-check replays the integer-only
+// digest trace twice on fresh machines: the two end-state digests must be
+// bit-identical, or the binary exits non-zero (CI's perf-smoke job fails).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/sim/machine.h"
+#include "src/sim/replay.h"
+#include "src/util/cli.h"
+
+using namespace prestore;
+
+namespace {
+
+ReplayTraceConfig MeasuredTrace(uint32_t workers, bool quick, uint64_t seed) {
+  ReplayTraceConfig cfg;
+  cfg.workers = workers;
+  cfg.ops_per_worker = quick ? 60000 : 400000;
+  cfg.keys_per_worker = 4096;  // 1 MiB of private values per worker
+  cfg.shared_keys = 1024;
+  cfg.shared_fraction = 0.125;
+  cfg.value_size = 256;
+  cfg.read_ratio = 0.5;  // YCSB-A mix
+  cfg.zipf_theta = 0.99;
+  cfg.clean_period = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+uint64_t DeterminismDigest() {
+  ReplayTraceConfig cfg;
+  cfg.workers = 4;
+  cfg.ops_per_worker = 20000;
+  cfg.keys_per_worker = 2048;
+  cfg.shared_keys = 512;
+  cfg.shared_fraction = 0.25;
+  cfg.zipf_theta = 0.0;  // integer-only key stream
+  cfg.seed = 42;
+  Machine machine(MachineA(cfg.workers));
+  const ReplayTrace trace = GenerateReplayTrace(machine, cfg);
+  ReplaySequential(machine, trace);
+  return DigestMachine(machine, cfg.workers);
+}
+
+struct SweepPoint {
+  uint32_t workers = 0;
+  ReplayResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const uint64_t seed = flags.GetInt("seed", 42);
+  const uint32_t max_workers =
+      static_cast<uint32_t>(flags.GetInt("max-workers", 8));
+  const std::string out_path =
+      flags.GetString("out", "BENCH_sim_throughput.json");
+
+  // Determinism self-check: two fresh sequential replays, one digest.
+  const uint64_t digest_a = DeterminismDigest();
+  const uint64_t digest_b = DeterminismDigest();
+  if (digest_a != digest_b) {
+    std::fprintf(stderr,
+                 "DETERMINISM CHECK FAILED: digest %016llx != %016llx\n",
+                 static_cast<unsigned long long>(digest_a),
+                 static_cast<unsigned long long>(digest_b));
+    return 1;
+  }
+  std::printf("determinism check ok (digest %016llx)\n\n",
+              static_cast<unsigned long long>(digest_a));
+
+  std::vector<SweepPoint> sweep;
+  std::printf("%8s %14s %12s %14s %10s %10s\n", "workers", "accesses",
+              "host_sec", "accesses/sec", "llc_hit%", "Mcycles");
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    if (workers > max_workers) {
+      continue;
+    }
+    Machine machine(MachineA(workers));
+    const ReplayTrace trace =
+        GenerateReplayTrace(machine, MeasuredTrace(workers, quick, seed));
+    SweepPoint point;
+    point.workers = workers;
+    point.result = ReplayConcurrent(machine, trace);
+    const HierarchyCounts& h = point.result.hierarchy;
+    const uint64_t llc_refs = h.llc_hits + h.llc_misses;
+    std::printf("%8u %14llu %12.3f %14.0f %10.1f %10.1f\n", workers,
+                static_cast<unsigned long long>(point.result.accesses),
+                point.result.host_seconds, point.result.accesses_per_sec,
+                llc_refs == 0 ? 0.0
+                              : 100.0 * static_cast<double>(h.llc_hits) /
+                                    static_cast<double>(llc_refs),
+                static_cast<double>(point.result.sim_cycles) / 1e6);
+    sweep.push_back(point);
+  }
+
+  const double base = sweep.front().result.accesses_per_sec;
+  std::printf("\nscaling vs 1 worker:");
+  for (const SweepPoint& p : sweep) {
+    std::printf("  %ux=%.2f", p.workers,
+                base > 0.0 ? p.result.accesses_per_sec / base : 0.0);
+  }
+  std::printf("\n");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"sim_throughput\",\n"
+               "  \"quick\": %s,\n"
+               "  \"seed\": %llu,\n"
+               "  \"host_hw_concurrency\": %u,\n"
+               "  \"determinism_digest\": \"%016llx\",\n"
+               "  \"results\": [\n",
+               quick ? "true" : "false",
+               static_cast<unsigned long long>(seed),
+               std::thread::hardware_concurrency(),
+               static_cast<unsigned long long>(digest_a));
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    const HierarchyCounts& h = p.result.hierarchy;
+    std::fprintf(
+        out,
+        "    {\"workers\": %u, \"accesses\": %llu, \"host_seconds\": %.6f,"
+        " \"accesses_per_sec\": %.0f, \"sim_cycles\": %llu,"
+        " \"llc_hits\": %llu, \"llc_misses\": %llu,"
+        " \"target_media_bytes\": %llu}%s\n",
+        p.workers, static_cast<unsigned long long>(p.result.accesses),
+        p.result.host_seconds, p.result.accesses_per_sec,
+        static_cast<unsigned long long>(p.result.sim_cycles),
+        static_cast<unsigned long long>(h.llc_hits),
+        static_cast<unsigned long long>(h.llc_misses),
+        static_cast<unsigned long long>(p.result.target_media_bytes),
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

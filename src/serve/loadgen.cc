@@ -300,6 +300,7 @@ ServeResult ServeYcsb(Machine& machine, KvServer& server) {
   result.ops = result.gets + result.puts;
   result.batches = server.TotalBatches();
   result.write_amplification = machine.target().Stats().WriteAmplification();
+  result.hierarchy = machine.hierarchy_stats();
   result.get_latency = merged.Summary(ServeOp::kGet);
   result.put_latency = merged.Summary(ServeOp::kPut);
   result.shard_policies = server.ShardPolicies();

@@ -7,6 +7,7 @@
 
 #include "src/serve/latency_meter.h"
 #include "src/serve/server.h"
+#include "src/sim/machine.h"
 
 namespace prestore {
 
@@ -19,6 +20,9 @@ struct ServeResult {
   uint64_t retries = 0;      // admission-queue-full backpressure events
   uint64_t batches = 0;      // shard batches executed
   double write_amplification = 1.0;  // target-device media/cpu write ratio
+  // Shared-hierarchy counters over the measured serving window (aggregated
+  // from the per-core stat stripes after the run).
+  MachineStats hierarchy;
   LatencySummary get_latency;        // simulated cycles, client-observed
   LatencySummary put_latency;
   std::vector<ShardPolicy> shard_policies;  // empty when ungoverned

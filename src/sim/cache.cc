@@ -6,61 +6,51 @@
 
 namespace prestore {
 
+namespace {
+
+constexpr bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr uint32_t Log2(uint64_t v) {
+  uint32_t s = 0;
+  while ((v >>= 1) != 0) {
+    ++s;
+  }
+  return s;
+}
+
+}  // namespace
+
 SetAssocCache::SetAssocCache(const CacheConfig& config, uint64_t seed)
-    : config_(config), num_sets_(config.NumSets()) {
-  assert(num_sets_ > 0 && "cache must hold at least one set");
+    : SetAssocCache(config, seed, /*shard=*/0, /*stride=*/1) {}
+
+SetAssocCache::SetAssocCache(const CacheConfig& config, uint64_t seed,
+                             uint64_t shard, uint64_t stride)
+    : config_(config), global_sets_(config.NumSets()), shard_(shard) {
+  config_.Validate("cache");
+  assert(IsPow2(stride) && shard < stride &&
+         "shard stride must be a power of two");
+  line_shift_ = Log2(config_.line_size);
+  global_set_mask_ = IsPow2(global_sets_) ? global_sets_ - 1 : 0;
+  stride_shift_ = Log2(stride);
+  // Global sets owned by this view: {shard, shard + stride, ...}.
+  num_sets_ =
+      global_sets_ > shard ? (global_sets_ - 1 - shard) / stride + 1 : 0;
   lines_.resize(num_sets_ * config_.ways);
+  tags_.assign(num_sets_ * config_.ways, kInvalidTag);
   plru_bits_.assign(num_sets_, 0);
   set_stamp_.assign(num_sets_, 0);
   set_rng_.resize(num_sets_);
+  way_hint_.assign(num_sets_, kNoHint);
+  valid_count_.assign(num_sets_, 0);
+  // Per-set RNG state comes from one SplitMix64 stream walked in GLOBAL set
+  // order; a shard view keeps only its own sets' draws. This is what makes a
+  // sharded cache's victim choices bit-identical to the monolithic cache's.
   SplitMix64 sm(seed);
-  for (auto& s : set_rng_) {
-    s = sm.Next() | 1;
-  }
-}
-
-CacheLineMeta* SetAssocCache::Probe(uint64_t line_addr) {
-  const uint64_t set = SetIndexOf(line_addr);
-  CacheLineMeta* base = SetBase(set);
-  for (uint32_t w = 0; w < config_.ways; ++w) {
-    if (base[w].valid && base[w].line_addr == line_addr) {
-      return &base[w];
+  for (uint64_t g = 0; g < global_sets_; ++g) {
+    const uint64_t draw = sm.Next() | 1;
+    if ((g & (stride - 1)) == shard) {
+      set_rng_[g >> stride_shift_] = draw;
     }
-  }
-  return nullptr;
-}
-
-const CacheLineMeta* SetAssocCache::Probe(uint64_t line_addr) const {
-  return const_cast<SetAssocCache*>(this)->Probe(line_addr);
-}
-
-CacheLineMeta* SetAssocCache::Touch(uint64_t line_addr) {
-  const uint64_t set = SetIndexOf(line_addr);
-  CacheLineMeta* base = SetBase(set);
-  for (uint32_t w = 0; w < config_.ways; ++w) {
-    if (base[w].valid && base[w].line_addr == line_addr) {
-      TouchWay(set, w);
-      return &base[w];
-    }
-  }
-  return nullptr;
-}
-
-void SetAssocCache::TouchWay(uint64_t set, uint32_t way) {
-  CacheLineMeta& line = SetBase(set)[way];
-  switch (config_.policy) {
-    case ReplacementPolicy::kLru:
-      line.stamp = ++set_stamp_[set];
-      break;
-    case ReplacementPolicy::kTreePlru:
-      PlruTouch(set, way);
-      break;
-    case ReplacementPolicy::kQuadAge:
-      line.age = 0;
-      break;
-    case ReplacementPolicy::kFifo:
-    case ReplacementPolicy::kRandom:
-      break;  // hits do not update replacement state
   }
 }
 
@@ -72,25 +62,6 @@ uint64_t SetAssocCache::NextRand(uint64_t set) {
   x ^= x << 17;
   set_rng_[set] = x;
   return x;
-}
-
-void SetAssocCache::PlruTouch(uint64_t set, uint32_t way) {
-  // Classic binary-tree pseudo-LRU: flip internal nodes to point away from
-  // the touched way. Node 1 is the root; leaves correspond to ways.
-  uint64_t bits = plru_bits_[set];
-  uint32_t node = 1;
-  uint32_t span = config_.ways;
-  while (span > 1) {
-    span /= 2;
-    const bool right = (way % (span * 2)) >= span;
-    if (right) {
-      bits |= (1ULL << node);  // 1 = "left is older"
-    } else {
-      bits &= ~(1ULL << node);
-    }
-    node = node * 2 + (right ? 1 : 0);
-  }
-  plru_bits_[set] = bits;
 }
 
 uint32_t SetAssocCache::PlruVictim(uint64_t set) const {
@@ -111,10 +82,14 @@ uint32_t SetAssocCache::PlruVictim(uint64_t set) const {
 
 uint32_t SetAssocCache::PickVictim(uint64_t set) {
   CacheLineMeta* base = SetBase(set);
-  // Invalid ways first.
-  for (uint32_t w = 0; w < config_.ways; ++w) {
-    if (!base[w].valid) {
-      return w;
+  // Invalid ways first. Warm sets are full, so the scan is skipped for them
+  // (valid_count_ tracks exactly how many ways hold a line).
+  if (valid_count_[set] < config_.ways) {
+    const uint64_t* tags = &tags_[set * config_.ways];
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+      if (tags[w] == kInvalidTag) {
+        return w;
+      }
     }
   }
   switch (config_.policy) {
@@ -135,7 +110,8 @@ uint32_t SetAssocCache::PickVictim(uint64_t set) {
     case ReplacementPolicy::kQuadAge: {
       // Intel-style pseudo-LRU: pick randomly among the oldest (age 3) lines;
       // if none has reached age 3, age every line until one does. This is
-      // what makes evictions look "random" to software (§4.1).
+      // what makes evictions look "random" to software (§4.1). The candidate
+      // buffer holds one slot per way; CacheConfig::Validate caps ways at 64.
       while (true) {
         uint32_t candidates[64];
         uint32_t n = 0;
@@ -169,8 +145,11 @@ SetAssocCache::Victim SetAssocCache::Insert(uint64_t line_addr, bool dirty,
     victim.dirty = slot.dirty;
     victim.owner = slot.owner;
     victim.sharers = slot.sharers;
+  } else {
+    ++valid_count_[set];
   }
 
+  tags_[set * config_.ways + way] = line_addr;
   slot = CacheLineMeta{};
   slot.line_addr = line_addr;
   slot.valid = true;
@@ -189,6 +168,7 @@ SetAssocCache::Victim SetAssocCache::Insert(uint64_t line_addr, bool dirty,
     case ReplacementPolicy::kRandom:
       break;
   }
+  way_hint_[set] = static_cast<uint8_t>(way);
   if (out_line != nullptr) {
     *out_line = &slot;
   }
@@ -196,14 +176,18 @@ SetAssocCache::Victim SetAssocCache::Insert(uint64_t line_addr, bool dirty,
 }
 
 bool SetAssocCache::Remove(uint64_t line_addr, CacheLineMeta* was) {
-  CacheLineMeta* line = Probe(line_addr);
-  if (line == nullptr) {
+  const uint64_t set = SetIndexOf(line_addr);
+  const uint32_t w = FindWay(set, line_addr);
+  if (w == kWayNone) {
     return false;
   }
+  CacheLineMeta& line = SetBase(set)[w];
   if (was != nullptr) {
-    *was = *line;
+    *was = line;
   }
-  *line = CacheLineMeta{};
+  line = CacheLineMeta{};
+  tags_[set * config_.ways + w] = kInvalidTag;
+  --valid_count_[set];
   return true;
 }
 
@@ -228,6 +212,7 @@ void SetAssocCache::AgeLine(uint64_t line_addr) {
 
 std::vector<uint64_t> SetAssocCache::ValidLines() const {
   std::vector<uint64_t> out;
+  out.reserve(lines_.size());
   for (const auto& line : lines_) {
     if (line.valid) {
       out.push_back(line.line_addr);

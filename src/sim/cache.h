@@ -2,7 +2,18 @@
 //
 // The cache stores timing/coherence metadata only — data always lives in the
 // machine's backing host memory (functional-first simulation). Locking is
-// external: Machine shards the LLC by set index; each L1 has its own mutex.
+// external: Machine gives each LLC shard its own mutex; each L1 has its own
+// mutex.
+//
+// A cache can be constructed either as a whole (the L1 case) or as a SHARD
+// VIEW over every `stride`-th set of a larger logical cache (the LLC case:
+// Machine builds kNumShards views so each shard owns its sets, replacement
+// state and lock outright). A shard view behaves exactly like the
+// corresponding sets of the monolithic cache: per-set RNG streams are drawn
+// from the same global-set-order SplitMix64 sequence, so for any fixed
+// access sequence the victim choices are bit-identical to the unsharded
+// cache (the determinism guard in tests/sim_determinism_test.cc relies on
+// this).
 #ifndef SRC_SIM_CACHE_H_
 #define SRC_SIM_CACHE_H_
 
@@ -39,18 +50,59 @@ class SetAssocCache {
     uint64_t sharers = 0;
   };
 
+  // Whole cache: owns every set. Validates `config` (throws
+  // std::invalid_argument, see CacheConfig::Validate).
   SetAssocCache(const CacheConfig& config, uint64_t seed);
 
+  // Shard view: owns the global sets {shard, shard + stride, ...} of the
+  // logical cache described by `config`. `stride` must be a power of two.
+  // Per-set RNG state is drawn from the same seed stream as the whole
+  // cache's, in global set order, so replacement decisions match the
+  // monolithic cache set-for-set.
+  SetAssocCache(const CacheConfig& config, uint64_t seed, uint64_t shard,
+                uint64_t stride);
+
+  // Set index of `line_addr` in the full logical cache.
+  uint64_t GlobalSetOf(uint64_t line_addr) const {
+    const uint64_t frame = line_addr >> line_shift_;
+    return global_set_mask_ != 0 ? (frame & global_set_mask_)
+                                 : frame % global_sets_;
+  }
+
+  // Index into this instance's sets (== GlobalSetOf for a whole cache). The
+  // line must map to this shard.
   uint64_t SetIndexOf(uint64_t line_addr) const {
-    return (line_addr / config_.line_size) % num_sets_;
+    return GlobalSetOf(line_addr) >> stride_shift_;
   }
 
   // Probe without updating replacement state. Returns nullptr on miss.
-  CacheLineMeta* Probe(uint64_t line_addr);
-  const CacheLineMeta* Probe(uint64_t line_addr) const;
+  // (Defined inline below — FindWay dominates every simulated access.)
+  CacheLineMeta* Probe(uint64_t line_addr) {
+    const uint64_t set = SetIndexOf(line_addr);
+    const uint32_t w = FindWay(set, line_addr);
+    if (w == kWayNone) {
+      return nullptr;
+    }
+    way_hint_[set] = static_cast<uint8_t>(w);
+    return &SetBase(set)[w];
+  }
+  const CacheLineMeta* Probe(uint64_t line_addr) const {
+    const uint64_t set = SetIndexOf(line_addr);
+    const uint32_t w = FindWay(set, line_addr);
+    return w == kWayNone ? nullptr : &SetBase(set)[w];
+  }
 
   // Probe and, on a hit, mark the line most-recently-used.
-  CacheLineMeta* Touch(uint64_t line_addr);
+  CacheLineMeta* Touch(uint64_t line_addr) {
+    const uint64_t set = SetIndexOf(line_addr);
+    const uint32_t w = FindWay(set, line_addr);
+    if (w == kWayNone) {
+      return nullptr;
+    }
+    way_hint_[set] = static_cast<uint8_t>(w);
+    TouchWay(set, w);
+    return &SetBase(set)[w];
+  }
 
   // Allocates a line (which must not be present). Returns the evicted victim,
   // if any. The returned reference `out_line` points at the new line's meta.
@@ -65,32 +117,115 @@ class SetAssocCache {
   void AgeLine(uint64_t line_addr);
 
   const CacheConfig& config() const { return config_; }
+  // Sets owned by this instance (the full cache when stride == 1).
   uint64_t num_sets() const { return num_sets_; }
+  // Sets of the full logical cache.
+  uint64_t global_sets() const { return global_sets_; }
 
-  // Enumerate valid lines (diagnostics / tests).
+  // Direct access to one owned set's way array (FlushAll, diagnostics).
+  // External locking rules apply, as for Probe.
+  CacheLineMeta* SetData(uint64_t set) { return SetBase(set); }
+  const CacheLineMeta* SetData(uint64_t set) const { return SetBase(set); }
+
+  // Enumerate valid lines (diagnostics / tests), set-major way-minor.
   std::vector<uint64_t> ValidLines() const;
 
  private:
+  static constexpr uint32_t kWayNone = ~0u;
+  static constexpr uint8_t kNoHint = 0xff;
+  // Tag value for an invalid way. Line addresses are line-aligned, so the
+  // all-ones pattern can never collide with a real line.
+  static constexpr uint64_t kInvalidTag = ~0ULL;
+
   CacheLineMeta* SetBase(uint64_t set) { return &lines_[set * config_.ways]; }
   const CacheLineMeta* SetBase(uint64_t set) const {
     return &lines_[set * config_.ways];
   }
 
-  void TouchWay(uint64_t set, uint32_t way);
+  // The single lookup primitive both Probe overloads and Touch share: way
+  // holding `line_addr` in `set`, or kWayNone. Scans the packed per-set tag
+  // array — one contiguous u64 per way, invalid ways hold kInvalidTag — so
+  // the common miss costs `ways` adjacent compares instead of striding
+  // through the 40-byte metadata structs. Checks the set's last-hit way
+  // first — at most one way can match a line address, so the hint is a pure
+  // accelerator and cannot change any outcome.
+  uint32_t FindWay(uint64_t set, uint64_t line_addr) const {
+    const uint64_t* tags = &tags_[set * config_.ways];
+    const uint8_t hint = way_hint_[set];
+    if (hint != kNoHint && tags[hint] == line_addr) {
+      return hint;
+    }
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+      if (tags[w] == line_addr) {
+        return w;
+      }
+    }
+    return kWayNone;
+  }
+
+  // Replacement-state update for a hit (inline: runs on every cache hit).
+  void TouchWay(uint64_t set, uint32_t way) {
+    switch (config_.policy) {
+      case ReplacementPolicy::kLru:
+        SetBase(set)[way].stamp = ++set_stamp_[set];
+        break;
+      case ReplacementPolicy::kTreePlru:
+        PlruTouch(set, way);
+        break;
+      case ReplacementPolicy::kQuadAge:
+        SetBase(set)[way].age = 0;
+        break;
+      case ReplacementPolicy::kFifo:
+      case ReplacementPolicy::kRandom:
+        break;  // hits do not update replacement state
+    }
+  }
+
   uint32_t PickVictim(uint64_t set);
 
   // Tree-PLRU helpers (ways must be a power of two).
-  void PlruTouch(uint64_t set, uint32_t way);
+  void PlruTouch(uint64_t set, uint32_t way) {
+    // Classic binary-tree pseudo-LRU: flip internal nodes to point away
+    // from the touched way. Node 1 is the root; leaves correspond to ways.
+    uint64_t bits = plru_bits_[set];
+    uint32_t node = 1;
+    uint32_t span = config_.ways;
+    while (span > 1) {
+      span /= 2;
+      const bool right = (way % (span * 2)) >= span;
+      if (right) {
+        bits |= (1ULL << node);  // 1 = "left is older"
+      } else {
+        bits &= ~(1ULL << node);
+      }
+      node = node * 2 + (right ? 1 : 0);
+    }
+    plru_bits_[set] = bits;
+  }
   uint32_t PlruVictim(uint64_t set) const;
 
   uint64_t NextRand(uint64_t set);
 
   CacheConfig config_;
+  uint64_t global_sets_;
   uint64_t num_sets_;
+  // Fast indexing: line_size is a power of two (validated); sets usually are.
+  uint32_t line_shift_;
+  uint64_t global_set_mask_;  // global_sets_ - 1 when a power of two, else 0
+  uint32_t stride_shift_;     // log2(stride)
+  uint64_t shard_;
+
   std::vector<CacheLineMeta> lines_;
+  // Packed lookup tags, mirroring lines_[i].line_addr (kInvalidTag when the
+  // way is invalid). Kept in sync by Insert/Remove; FindWay scans only this.
+  std::vector<uint64_t> tags_;
   std::vector<uint64_t> plru_bits_;   // one word per set
   std::vector<uint64_t> set_stamp_;   // per-set monotonic counter
   std::vector<uint64_t> set_rng_;     // per-set xorshift state
+  std::vector<uint8_t> way_hint_;     // per-set last-hit way (kNoHint = none)
+  // Valid ways per set: lets PickVictim skip the invalid-way scan once a
+  // set is full (the steady state for every warm set).
+  std::vector<uint8_t> valid_count_;
 };
 
 }  // namespace prestore

@@ -1,6 +1,42 @@
 #include "src/sim/config.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace prestore {
+
+namespace {
+
+bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+[[noreturn]] void Invalid(const char* what, const std::string& why) {
+  throw std::invalid_argument(std::string(what) + ": " + why);
+}
+
+}  // namespace
+
+void CacheConfig::Validate(const char* what) const {
+  if (!IsPow2(line_size)) {
+    Invalid(what, "line_size must be a nonzero power of two, got " +
+                      std::to_string(line_size));
+  }
+  if (ways == 0 || ways > 64) {
+    // kQuadAge's PickVictim gathers eviction candidates into a fixed
+    // uint32_t[64]; one slot per way, so >64 ways would overflow it.
+    Invalid(what, "ways must be in [1, 64] (victim-candidate buffer holds "
+                  "one slot per way), got " +
+                      std::to_string(ways));
+  }
+  if (policy == ReplacementPolicy::kTreePlru && !IsPow2(ways)) {
+    Invalid(what, "kTreePlru needs power-of-two ways, got " +
+                      std::to_string(ways));
+  }
+  if (NumSets() == 0) {
+    Invalid(what, "size_bytes " + std::to_string(size_bytes) +
+                      " holds no complete set of " + std::to_string(ways) +
+                      " x " + std::to_string(line_size) + "B lines");
+  }
+}
 
 MachineConfig MachineA(uint32_t num_cores) {
   MachineConfig m;

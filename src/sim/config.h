@@ -30,6 +30,13 @@ struct CacheConfig {
   uint64_t NumSets() const {
     return size_bytes / (static_cast<uint64_t>(ways) * line_size);
   }
+
+  // Throws std::invalid_argument (message prefixed with `what`) if the
+  // geometry is unusable: line_size must be a nonzero power of two, ways in
+  // [1, 64] (kQuadAge victim selection keeps one candidate slot per way in a
+  // fixed 64-entry buffer; more ways would silently overflow it), kTreePlru
+  // needs power-of-two ways, and the cache must hold at least one set.
+  void Validate(const char* what) const;
 };
 
 enum class DeviceKind : uint8_t {

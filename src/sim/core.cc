@@ -17,13 +17,9 @@ constexpr uint64_t kStoreIssueCost = 1;
 Core::Core(Machine* machine, uint8_t id, const MachineConfig& config)
     : machine_(machine), id_(id), config_(config), l1_(config.l1, config.seed ^ (0x17ULL * id + 3)) {}
 
-void Core::Emit(TraceKind kind, SimAddr addr, uint32_t size) {
-  TraceSink* sink = machine_->trace_sink();
-  if (sink == nullptr) {
-    return;
-  }
-  sink->Record(TraceRecord{kind, id_, size, addr, icount_, CurrentFunc(),
-                           cur_chain_});
+void Core::RefreshFastPathFlags() {
+  sink_fast_ = machine_->trace_sink();
+  has_hooks_ = !machine_->prestore_hooks().empty();
 }
 
 void Core::PushFunc(FuncToken token) {
@@ -145,6 +141,9 @@ void Core::PushWc(uint64_t line_addr, uint64_t completion) {
 }
 
 bool Core::WaitPendingWriteback(uint64_t line_addr) {
+  if (wc_.empty()) {
+    return false;  // nothing in flight: every store/load-miss takes this exit
+  }
   bool found = false;
   for (auto it = wc_.begin(); it != wc_.end();) {
     if (it->line_addr == line_addr) {
@@ -265,7 +264,7 @@ void Core::NotifyRewriteIfCleaned(uint64_t line_addr) {
 }
 
 void Core::LineStore(uint64_t line_addr) {
-  if (!machine_->prestore_hooks().empty()) {
+  if (has_hooks_) {
     NotifyRewriteIfCleaned(line_addr);
   }
   WaitPendingWriteback(line_addr);
@@ -397,8 +396,10 @@ void Core::Fence() {
   PublishClock();
   ++stats_.fences;
   ++icount_;
-  for (PrestoreHook* hook : machine_->prestore_hooks()) {
-    hook->OnFence(id_, now_);
+  if (has_hooks_) {
+    for (PrestoreHook* hook : machine_->prestore_hooks()) {
+      hook->OnFence(id_, now_);
+    }
   }
   const uint64_t begin = now_;
   uint64_t t = DrainSbAll(now_);
@@ -478,7 +479,7 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
   const uint64_t last = LineBase(addr + size - 1, ls);
   const std::vector<PrestoreHook*>& hooks = machine_->prestore_hooks();
   for (uint64_t line = first; line <= last; line += ls) {
-    if (!hooks.empty()) {
+    if (has_hooks_) {
       uint64_t delay = 0;
       bool drop = false;
       for (PrestoreHook* hook : hooks) {
@@ -529,14 +530,14 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
           const uint64_t published = machine_->PublishLine(id_, line, now_);
           PushBg(published);
           PushWc(line, machine_->CleanLine(id_, line, published));
-          if (!hooks.empty()) {
+          if (has_hooks_) {
             NoteCleanedLine(line);
           }
         } else {
           const uint64_t c = machine_->CleanLine(id_, line, now_);
           if (c != now_) {
             PushWc(line, c);
-            if (!hooks.empty()) {
+            if (has_hooks_) {
               NoteCleanedLine(line);
             }
           } else {
@@ -555,6 +556,7 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
 
 void Core::StoreNt(SimAddr dst, const void* src, size_t size) {
   std::memcpy(machine_->HostPtr(dst), src, size);
+  nt_used_ = true;
   const uint64_t ls = config_.line_size;
   SimAddr a = dst;
   size_t remaining = size;

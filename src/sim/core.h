@@ -166,6 +166,11 @@ class Core {
   SetAssocCache& l1() { return l1_; }
   std::mutex& l1_mu() { return l1_mu_; }
 
+  // Re-reads the machine's trace-sink and pre-store-hook registrations into
+  // the core-local fast-path fields below. Machine calls this whenever a
+  // sink or hook is (un)installed; never call while the core is running.
+  void RefreshFastPathFlags();
+
  private:
   friend class Machine;
 
@@ -197,12 +202,26 @@ class Core {
   // L1 fill with victim handling. Caller must NOT hold any lock.
   void FillL1(uint64_t line_addr, bool exclusive, bool dirty);
 
-  void Emit(TraceKind kind, SimAddr addr, uint32_t size);
+  // Per-op trace emission. The unhooked case must cost one predicted
+  // branch, so the sink pointer is cached core-locally (refreshed by
+  // RefreshFastPathFlags) instead of being re-read through the machine's
+  // atomic on every memory operation.
+  void Emit(TraceKind kind, SimAddr addr, uint32_t size) {
+    if (sink_fast_ == nullptr) {
+      return;
+    }
+    sink_fast_->Record(TraceRecord{kind, id_, size, addr, icount_,
+                                   CurrentFunc(), cur_chain_});
+  }
   void PublishClock();
 
   Machine* machine_;
   uint8_t id_;
   const MachineConfig& config_;
+
+  // Cached fast-path state (see RefreshFastPathFlags).
+  TraceSink* sink_fast_ = nullptr;
+  bool has_hooks_ = false;
 
   uint64_t now_ = 0;
   uint64_t icount_ = 0;
@@ -230,7 +249,14 @@ class Core {
   static constexpr size_t kRecentNt = 256;
   uint64_t recent_nt_[kRecentNt] = {};
   size_t next_nt_ = 0;
+  // Set once this core issues its first non-temporal store; until then every
+  // load miss skips the kRecentNt-entry scan entirely (most workloads never
+  // use NT stores, and the scan sits on the load-miss path).
+  bool nt_used_ = false;
   bool RecentlyNtWritten(uint64_t line_addr) const {
+    if (!nt_used_) {
+      return false;
+    }
     for (uint64_t l : recent_nt_) {
       if (l == line_addr) {
         return true;

@@ -49,36 +49,39 @@ uint64_t PmemDevice::TouchBlock(uint64_t addr, bool dirty, uint64_t now,
   }
   {
     std::lock_guard<std::mutex> lock(dimm.mu);
-    auto it = dimm.buffer.find(block);
-    if (it != dimm.buffer.end()) {
-      dimm.lru.splice(dimm.lru.begin(), dimm.lru, it->second.lru_it);
-      it->second.dirty = it->second.dirty || dirty;
-      if (dirty) {
-        it->second.written_mask |= line_bit;
+    std::vector<BufferedBlock>& slots = dimm.slots;
+    const size_t n = slots.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (slots[i].block == block) {
+        BufferedBlock hit = slots[i];
+        hit.dirty = hit.dirty || dirty;
+        if (dirty) {
+          hit.written_mask |= line_bit;
+        }
+        // Rotate the hit to the MRU position (front), shifting [0, i) down.
+        for (size_t j = i; j > 0; --j) {
+          slots[j] = slots[j - 1];
+        }
+        slots[0] = hit;
+        return 0;  // coalesced: served from the buffer, no media work
       }
-      return 0;  // coalesced: served from the buffer, no media work
     }
-    while (dimm.buffer.size() >= capacity) {
-      const uint64_t victim = dimm.lru.back();
-      dimm.lru.pop_back();
-      auto vit = dimm.buffer.find(victim);
-      if (vit->second.dirty) {
+    while (slots.size() >= capacity) {
+      const BufferedBlock victim = slots.back();
+      slots.pop_back();
+      if (victim.dirty) {
         // Dirty-block flush: the §4.1 write amplification. A partially
         // written block additionally pays the read-modify-write fetch.
         media_work += BlockWriteCost();
-        if ((vit->second.written_mask & full_mask) != full_mask) {
+        if ((victim.written_mask & full_mask) != full_mask) {
           media_work += BlockReadCost();
         }
         *media_bytes_flushed += config_.internal_block_size;
       }
-      dimm.buffer.erase(vit);
     }
-    dimm.lru.push_front(block);
-    BufferedBlock entry{dimm.lru.begin(), dirty};
-    if (dirty) {
-      entry.written_mask = line_bit;
-    }
-    dimm.buffer.emplace(block, entry);
+    slots.insert(slots.begin(),
+                 BufferedBlock{block, dirty,
+                               dirty ? line_bit : static_cast<uint8_t>(0)});
     if (!dirty) {
       // A read miss must fetch the block to serve the data (the
       // read-amplification side; media reads are cheaper than writes).
@@ -132,14 +135,12 @@ void PmemDevice::Drain() {
   std::lock_guard<std::mutex> slock(stats_mu_);
   for (Dimm& dimm : dimms_) {
     std::lock_guard<std::mutex> lock(dimm.mu);
-    for (const auto& [block, entry] : dimm.buffer) {
-      (void)block;
+    for (const BufferedBlock& entry : dimm.slots) {
       if (entry.dirty) {
         stats_.media_bytes_written += config_.internal_block_size;
       }
     }
-    dimm.lru.clear();
-    dimm.buffer.clear();
+    dimm.slots.clear();
   }
 }
 

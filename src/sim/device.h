@@ -11,11 +11,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <vector>
 #include <mutex>
-#include <unordered_map>
 
 #include "src/sim/config.h"
 #include "src/sim/hooks.h"
@@ -227,7 +225,11 @@ class DramDevice : public Device {
 class PmemDevice : public Device {
  public:
   explicit PmemDevice(const DeviceConfig& config)
-      : Device(config), dimms_(std::max(1u, config.interleave_dimms)) {}
+      : Device(config), dimms_(std::max(1u, config.interleave_dimms)) {
+    for (Dimm& d : dimms_) {
+      d.slots.reserve(config.internal_buffer_blocks);
+    }
+  }
 
   uint64_t Read(uint64_t addr, uint32_t bytes, uint64_t now) override;
   uint64_t Write(uint64_t addr, uint32_t bytes, uint64_t now) override;
@@ -250,7 +252,7 @@ class PmemDevice : public Device {
 
  private:
   struct BufferedBlock {
-    std::list<uint64_t>::iterator lru_it;
+    uint64_t block = 0;
     bool dirty = false;
     // Which line-sized chunks of the block have been written: a fully
     // written block flushes without the read-modify-write fetch (why
@@ -259,11 +261,17 @@ class PmemDevice : public Device {
   };
 
   // One module: its own XPBuffer and its own share of the media bandwidth.
+  // The XPBuffer holds at most internal_buffer_blocks entries (single
+  // digits in every config), so it is kept as a recency-ordered array —
+  // slots[0] is most recently used, back() the LRU victim. A linear scan
+  // plus rotate-to-front over <=8 contiguous entries is far cheaper on the
+  // device hot path than the hash-map + linked-list pair it replaces (no
+  // allocation per insert, no pointer chasing), and the hit/evict/insert
+  // order is identical, so media accounting is bit-for-bit unchanged.
   struct Dimm {
     BandwidthMeter media;
     std::mutex mu;
-    std::list<uint64_t> lru;  // front = most recently used
-    std::unordered_map<uint64_t, BufferedBlock> buffer;
+    std::vector<BufferedBlock> slots;
   };
 
   // config_.media_cycles_per_byte is the AGGREGATE bandwidth; each module

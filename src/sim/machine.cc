@@ -1,5 +1,6 @@
 #include "src/sim/machine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -9,13 +10,31 @@ namespace prestore {
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       dram_(MakeDevice(config.dram)),
-      target_(MakeDevice(config.target)),
-      llc_(std::make_unique<SetAssocCache>(config.llc, config.seed ^ 0x11c)) {
+      target_(MakeDevice(config.target)) {
+  config_.l1.Validate("l1");
+  config_.llc.Validate("llc");
   assert(config_.l1.line_size == config_.line_size &&
          config_.llc.line_size == config_.line_size &&
          "cache line sizes must match the machine line size");
+  // The LLC is kNumShards independent sub-caches; global set g lives in
+  // shard g % kNumShards. The per-shard SetAssocCache draws its sets'
+  // replacement RNG from the shared global-set-order stream, so the sharded
+  // LLC makes bit-identical decisions to the monolithic one it replaced.
+  llc_shards_ = std::vector<LlcShard>(kNumShards);
+  for (size_t s = 0; s < kNumShards; ++s) {
+    llc_shards_[s].cache = std::make_unique<SetAssocCache>(
+        config.llc, config.seed ^ 0x11c, s, kNumShards);
+  }
+  llc_global_sets_ = llc_shards_[0].cache->global_sets();
+  llc_set_mask_ = (llc_global_sets_ & (llc_global_sets_ - 1)) == 0
+                      ? llc_global_sets_ - 1
+                      : 0;
+  for (uint32_t ls = config_.llc.line_size; ls > 1; ls >>= 1) {
+    ++llc_line_shift_;
+  }
   dram_backing_.resize(config_.dram_region_bytes);
   target_backing_.resize(config_.target_region_bytes);
+  hstripes_ = std::make_unique<MachineStatStripe[]>(config_.num_cores);
   cores_.reserve(config_.num_cores);
   for (uint32_t i = 0; i < config_.num_cores; ++i) {
     cores_.push_back(
@@ -24,6 +43,12 @@ Machine::Machine(const MachineConfig& config)
 }
 
 Machine::~Machine() = default;
+
+void Machine::RefreshCoreFastPaths() {
+  for (auto& c : cores_) {
+    c->RefreshFastPathFlags();
+  }
+}
 
 SimAddr Machine::Alloc(uint64_t bytes, Region region, uint64_t align) {
   if (align == 0) {
@@ -47,17 +72,6 @@ SimAddr Machine::Alloc(uint64_t bytes, Region region, uint64_t align) {
   } while (!brk.compare_exchange_weak(cur, start + bytes,
                                       std::memory_order_relaxed));
   return (region == Region::kTarget ? kTargetBase : kDramBase) + start;
-}
-
-uint8_t* Machine::HostPtr(SimAddr addr) {
-  if (addr >= kTargetBase) {
-    return target_backing_.data() + (addr - kTargetBase);
-  }
-  return dram_backing_.data() + (addr - kDramBase);
-}
-
-const uint8_t* Machine::HostPtr(SimAddr addr) const {
-  return const_cast<Machine*>(this)->HostPtr(addr);
 }
 
 uint64_t Machine::GlobalTime() const {
@@ -85,7 +99,12 @@ uint64_t Machine::AlignCores() {
 }
 
 void Machine::ResetStats() {
-  hstats_.Reset();
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    hstripes_[i].Reset();
+  }
+  if (shadow_hstats_ != nullptr) {
+    shadow_hstats_->Reset();
+  }
   dram_->ResetStats();
   target_->ResetStats();
   for (auto& c : cores_) {
@@ -114,13 +133,16 @@ uint64_t ApplyStreamDiscount(uint64_t start, uint64_t completion,
 
 }  // namespace
 
-uint64_t Machine::HandleLlcVictimLocked(uint8_t self,
-                                        const SetAssocCache::Victim& victim,
-                                        uint64_t now) {
+// Back-invalidates the victim's L1 sharers and accounts the eviction.
+// Returns true when a dirty writeback is owed (the device work itself runs
+// AFTER the caller drops the shard lock — see FinishEvictionWriteback — so
+// the shard critical section never spans a device-meter reservation).
+bool Machine::HandleLlcVictimLocked(uint8_t self,
+                                    const SetAssocCache::Victim& victim) {
   if (!victim.valid) {
-    return now;
+    return false;
   }
-  hstats_.llc_evictions.fetch_add(1, std::memory_order_relaxed);
+  Bump(self, &MachineStatStripe::llc_evictions);
   bool dirty = victim.dirty;
   uint64_t sharers = victim.sharers;
   while (sharers != 0) {
@@ -130,26 +152,25 @@ uint64_t Machine::HandleLlcVictimLocked(uint8_t self,
     std::lock_guard<std::mutex> l1_lock(c.l1_mu());
     CacheLineMeta was;
     if (c.l1().Remove(victim.line_addr, &was)) {
-      hstats_.back_invalidations.fetch_add(1, std::memory_order_relaxed);
+      Bump(self, &MachineStatStripe::back_invalidations);
       if (was.dirty) {
         dirty = true;
       }
     }
   }
-  if (!dirty) {
-    return now;
-  }
+  return dirty;
+}
+
+uint64_t Machine::FinishEvictionWriteback(uint8_t self, uint64_t line_addr,
+                                          uint64_t now) {
   // Eviction writeback: off the evicting core's critical path while its
   // bounded writeback queue has room; once the device falls behind, the
   // evicting access stalls (the backpressure behind Figure 3).
   const uint64_t acceptance =
-      DeviceFor(victim.line_addr).Write(victim.line_addr, config_.line_size,
-                                        now);
-  const uint64_t proceed =
-      cores_[self]->NoteEvictionWriteback(acceptance, now);
+      DeviceFor(line_addr).Write(line_addr, config_.line_size, now);
+  const uint64_t proceed = cores_[self]->NoteEvictionWriteback(acceptance, now);
   if (proceed > now) {
-    hstats_.wbq_stall_cycles.fetch_add(proceed - now,
-                                       std::memory_order_relaxed);
+    Bump(self, &MachineStatStripe::wbq_stall_cycles, proceed - now);
   }
   return proceed;
 }
@@ -161,77 +182,110 @@ uint64_t Machine::LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
   const bool far = dev.config().kind == DeviceKind::kFarMemory;
   uint64_t t = start;
 
-  std::lock_guard<std::mutex> shard_lock(ShardFor(line_addr));
-  CacheLineMeta* meta = llc_->Touch(line_addr);
-  if (meta != nullptr) {
-    hstats_.llc_hits.fetch_add(1, std::memory_order_relaxed);
-    t += config_.llc.hit_latency;
-    const uint8_t prev_owner = meta->owner;
-    if (prev_owner != kNoOwner && prev_owner != self) {
-      // Another core's L1 holds the line Modified: intervene.
-      hstats_.interventions.fetch_add(1, std::memory_order_relaxed);
-      t += config_.snoop_latency;
-      Core& owner = *cores_[prev_owner];
-      std::lock_guard<std::mutex> l1_lock(owner.l1_mu());
-      CacheLineMeta* ol = owner.l1().Probe(line_addr);
-      if (mode == AccessMode::kRead) {
-        if (ol != nullptr) {
-          ol->dirty = false;
-          ol->exclusive = false;
-        }
-      } else {
-        if (ol != nullptr) {
-          owner.l1().Remove(line_addr);
-        }
-        meta->sharers &= ~(1ULL << prev_owner);
-      }
-      meta->dirty = true;  // modified data is now at the LLC level
-      meta->owner = kNoOwner;
+  const auto apply_mode = [&](CacheLineMeta* meta) {
+    switch (mode) {
+      case AccessMode::kRead:
+        meta->sharers |= 1ULL << self;
+        break;
+      case AccessMode::kWrite:
+        meta->sharers = 1ULL << self;
+        meta->owner = self;
+        break;
+      case AccessMode::kDemote:
+        meta->sharers &= ~(1ULL << self);
+        meta->owner = kNoOwner;
+        meta->dirty = meta->dirty || incoming_dirty;
+        break;
     }
-    if (mode != AccessMode::kRead) {
-      uint64_t others = meta->sharers & ~(1ULL << self);
-      if (others != 0) {
+  };
+
+  LlcShard& shard = ShardFor(line_addr);
+  {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    SetAssocCache& llc = *shard.cache;
+    CacheLineMeta* meta = llc.Touch(line_addr);
+    if (meta != nullptr) {
+      Bump(self, &MachineStatStripe::llc_hits);
+      t += config_.llc.hit_latency;
+      const uint8_t prev_owner = meta->owner;
+      if (prev_owner != kNoOwner && prev_owner != self) {
+        // Another core's L1 holds the line Modified: intervene.
+        Bump(self, &MachineStatStripe::interventions);
         t += config_.snoop_latency;
-        while (others != 0) {
-          const int s = __builtin_ctzll(others);
-          others &= others - 1;
-          Core& c = *cores_[s];
-          std::lock_guard<std::mutex> l1_lock(c.l1_mu());
-          c.l1().Remove(line_addr);
-          meta->sharers &= ~(1ULL << s);
+        Core& owner = *cores_[prev_owner];
+        std::lock_guard<std::mutex> l1_lock(owner.l1_mu());
+        CacheLineMeta* ol = owner.l1().Probe(line_addr);
+        if (mode == AccessMode::kRead) {
+          if (ol != nullptr) {
+            ol->dirty = false;
+            ol->exclusive = false;
+          }
+        } else {
+          if (ol != nullptr) {
+            owner.l1().Remove(line_addr);
+          }
+          meta->sharers &= ~(1ULL << prev_owner);
+        }
+        meta->dirty = true;  // modified data is now at the LLC level
+        meta->owner = kNoOwner;
+      }
+      if (mode != AccessMode::kRead) {
+        uint64_t others = meta->sharers & ~(1ULL << self);
+        if (others != 0) {
+          t += config_.snoop_latency;
+          while (others != 0) {
+            const int s = __builtin_ctzll(others);
+            others &= others - 1;
+            Core& c = *cores_[s];
+            std::lock_guard<std::mutex> l1_lock(c.l1_mu());
+            c.l1().Remove(line_addr);
+            meta->sharers &= ~(1ULL << s);
+          }
+        }
+        if (far && prev_owner != self) {
+          // Line-state upgrade: the directory lives on the device (§4.2).
+          t = dev.DirectoryAccess(t);
         }
       }
-      if (far && prev_owner != self) {
-        // Line-state upgrade: the directory lives on the device (§4.2).
-        t = dev.DirectoryAccess(t);
-      }
+      apply_mode(meta);
+      return t;
     }
-  } else {
-    hstats_.llc_misses.fetch_add(1, std::memory_order_relaxed);
-    // Miss: (for writes to far memory) directory update, then line read.
-    if (mode != AccessMode::kRead && far) {
-      hstats_.dir_upgrades.fetch_add(1, std::memory_order_relaxed);
-      t = dev.DirectoryAccess(t);
-    }
-    const uint64_t read_done = dev.Read(line_addr, config_.line_size, t);
-    t = ApplyStreamDiscount(t, read_done, dev.config().read_latency, streamed);
-    SetAssocCache::Victim victim = llc_->Insert(line_addr, false, &meta);
-    t = std::max(t, HandleLlcVictimLocked(self, victim, start));
   }
 
-  switch (mode) {
-    case AccessMode::kRead:
-      meta->sharers |= 1ULL << self;
-      break;
-    case AccessMode::kWrite:
-      meta->sharers = 1ULL << self;
-      meta->owner = self;
-      break;
-    case AccessMode::kDemote:
-      meta->sharers &= ~(1ULL << self);
-      meta->owner = kNoOwner;
-      meta->dirty = meta->dirty || incoming_dirty;
-      break;
+  // Miss. The device work — (for writes to far memory) directory update,
+  // then the line read — runs with the shard UNLOCKED: it only touches the
+  // device's own synchronization, and keeping it out of the shard critical
+  // section keeps other cores' accesses to the shard's sets moving. On a
+  // single driving thread the instruction order is exactly the pre-split
+  // order, so sequential replays are bit-identical.
+  Bump(self, &MachineStatStripe::llc_misses);
+  if (mode != AccessMode::kRead && far) {
+    Bump(self, &MachineStatStripe::dir_upgrades);
+    t = dev.DirectoryAccess(t);
+  }
+  const uint64_t read_done = dev.Read(line_addr, config_.line_size, t);
+  t = ApplyStreamDiscount(t, read_done, dev.config().read_latency, streamed);
+
+  bool wb_owed = false;
+  uint64_t victim_line = 0;
+  {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    SetAssocCache& llc = *shard.cache;
+    // Re-probe: while the shard was unlocked another core may have filled
+    // the line (concurrent runs only — a failed Touch mutates nothing, so a
+    // sequential replay re-misses with untouched state).
+    CacheLineMeta* meta = llc.Touch(line_addr);
+    if (meta == nullptr) {
+      SetAssocCache::Victim victim = llc.Insert(line_addr, false, &meta);
+      if (HandleLlcVictimLocked(self, victim)) {
+        wb_owed = true;
+        victim_line = victim.line_addr;
+      }
+    }
+    apply_mode(meta);
+  }
+  if (wb_owed) {
+    t = std::max(t, FinishEvictionWriteback(self, victim_line, start));
   }
   return t;
 }
@@ -279,8 +333,9 @@ uint64_t Machine::CleanLine(uint8_t self, uint64_t line_addr, uint64_t start) {
     }
   }
   {
-    std::lock_guard<std::mutex> shard_lock(ShardFor(line_addr));
-    CacheLineMeta* meta = llc_->Probe(line_addr);
+    LlcShard& shard = ShardFor(line_addr);
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    CacheLineMeta* meta = shard.cache->Probe(line_addr);
     if (meta != nullptr) {
       if (meta->owner != kNoOwner && meta->owner != self) {
         Core& owner = *cores_[meta->owner];
@@ -305,8 +360,9 @@ uint64_t Machine::CleanLine(uint8_t self, uint64_t line_addr, uint64_t start) {
 
 void Machine::InvalidateLine(uint8_t self, uint64_t line_addr) {
   {
-    std::lock_guard<std::mutex> shard_lock(ShardFor(line_addr));
-    CacheLineMeta* meta = llc_->Probe(line_addr);
+    LlcShard& shard = ShardFor(line_addr);
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    CacheLineMeta* meta = shard.cache->Probe(line_addr);
     if (meta != nullptr) {
       uint64_t sharers = meta->sharers;
       while (sharers != 0) {
@@ -316,7 +372,7 @@ void Machine::InvalidateLine(uint8_t self, uint64_t line_addr) {
         std::lock_guard<std::mutex> l1_lock(c.l1_mu());
         c.l1().Remove(line_addr);
       }
-      llc_->Remove(line_addr);
+      shard.cache->Remove(line_addr);
     }
   }
   Core& core = *cores_[self];
@@ -326,21 +382,38 @@ void Machine::InvalidateLine(uint8_t self, uint64_t line_addr) {
 
 void Machine::L1VictimWriteback(uint8_t self, uint64_t line_addr, bool dirty,
                                 uint64_t now) {
-  std::lock_guard<std::mutex> shard_lock(ShardFor(line_addr));
-  CacheLineMeta* meta = llc_->Probe(line_addr);
-  if (meta != nullptr) {
-    meta->sharers &= ~(1ULL << self);
-    if (meta->owner == self) {
-      meta->owner = kNoOwner;
+  {
+    LlcShard& shard = ShardFor(line_addr);
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    CacheLineMeta* meta = shard.cache->Probe(line_addr);
+    if (meta != nullptr) {
+      meta->sharers &= ~(1ULL << self);
+      if (meta->owner == self) {
+        meta->owner = kNoOwner;
+      }
+      if (dirty) {
+        meta->dirty = true;
+      }
+      return;
     }
-    if (dirty) {
-      meta->dirty = true;
-    }
-    return;
   }
+  // Dirty victim with no LLC copy: the memory write needs no shard state,
+  // so it runs with the shard unlocked.
   if (dirty) {
     DeviceFor(line_addr).Write(line_addr, config_.line_size, now);
   }
+}
+
+std::vector<uint64_t> Machine::LlcValidLines() const {
+  std::vector<uint64_t> lines;
+  lines.reserve(llc_global_sets_ * config_.llc.ways);
+  for (const LlcShard& shard : llc_shards_) {
+    for (uint64_t line : shard.cache->ValidLines()) {
+      lines.push_back(line);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
 }
 
 void Machine::FlushAll() {
@@ -358,12 +431,25 @@ void Machine::FlushAll() {
       }
     }
   }
-  for (uint64_t line : llc_->ValidLines()) {
-    std::lock_guard<std::mutex> shard_lock(ShardFor(line));
-    CacheLineMeta* meta = llc_->Probe(line);
-    if (meta != nullptr && meta->dirty) {
-      meta->dirty = false;
-      DeviceFor(line).Write(line, config_.line_size, now);
+  // Walk the LLC in GLOBAL set order, ways in order — the same device-write
+  // order the monolithic cache produced. The order is load-bearing: PMEM
+  // write-combining (XPBuffer LRU and coalescing) makes media-byte counters
+  // depend on it.
+  for (uint64_t g = 0; g < llc_global_sets_; ++g) {
+    LlcShard& shard = llc_shards_[g & (kNumShards - 1)];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    const uint64_t local = g / kNumShards;
+    if (local >= shard.cache->num_sets()) {
+      continue;
+    }
+    CacheLineMeta* base = shard.cache->SetData(local);
+    for (uint32_t w = 0; w < config_.llc.ways; ++w) {
+      CacheLineMeta& meta = base[w];
+      if (meta.valid && meta.dirty) {
+        meta.dirty = false;
+        DeviceFor(meta.line_addr).Write(meta.line_addr, config_.line_size,
+                                        now);
+      }
     }
   }
   dram_->Drain();

@@ -29,25 +29,40 @@ enum class Region : uint8_t {
 inline constexpr SimAddr kDramBase = 0x10000;
 inline constexpr SimAddr kTargetBase = 1ULL << 32;
 
-// Shared-hierarchy event counters (relaxed atomics; approximate under
-// concurrency, intended for diagnostics and benchmarks).
+// Aggregated shared-hierarchy event counters, as returned by
+// Machine::hierarchy_stats(): the on-demand sum of the per-core stripes.
 struct MachineStats {
+  uint64_t llc_hits = 0;
+  uint64_t llc_misses = 0;
+  uint64_t llc_evictions = 0;
+  uint64_t back_invalidations = 0;  // L1 lines stripped by LLC
+  uint64_t interventions = 0;       // dirty-owner snoops
+  uint64_t wbq_stall_cycles = 0;    // writeback-queue waits
+  uint64_t dir_upgrades = 0;        // far-memory dir round trips
+};
+
+// One core's private slice of the shared-hierarchy counters. Padded to a
+// cache line so neighbouring cores' bumps never share one. Each stripe is
+// written only by the owning core's host thread, so bumps are single-writer
+// relaxed load+store pairs — no RMW, no contention — while readers
+// (aggregation, mid-run diagnostics) stay race-free.
+struct alignas(64) MachineStatStripe {
   std::atomic<uint64_t> llc_hits{0};
   std::atomic<uint64_t> llc_misses{0};
   std::atomic<uint64_t> llc_evictions{0};
-  std::atomic<uint64_t> back_invalidations{0};  // L1 lines stripped by LLC
-  std::atomic<uint64_t> interventions{0};       // dirty-owner snoops
-  std::atomic<uint64_t> wbq_stall_cycles{0};    // writeback-queue waits
-  std::atomic<uint64_t> dir_upgrades{0};        // far-memory dir round trips
+  std::atomic<uint64_t> back_invalidations{0};
+  std::atomic<uint64_t> interventions{0};
+  std::atomic<uint64_t> wbq_stall_cycles{0};
+  std::atomic<uint64_t> dir_upgrades{0};
 
   void Reset() {
-    llc_hits = 0;
-    llc_misses = 0;
-    llc_evictions = 0;
-    back_invalidations = 0;
-    interventions = 0;
-    wbq_stall_cycles = 0;
-    dir_upgrades = 0;
+    llc_hits.store(0, std::memory_order_relaxed);
+    llc_misses.store(0, std::memory_order_relaxed);
+    llc_evictions.store(0, std::memory_order_relaxed);
+    back_invalidations.store(0, std::memory_order_relaxed);
+    interventions.store(0, std::memory_order_relaxed);
+    wbq_stall_cycles.store(0, std::memory_order_relaxed);
+    dir_upgrades.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -76,14 +91,24 @@ class Machine {
   SimAddr Alloc(uint64_t bytes, Region region = Region::kTarget,
                 uint64_t align = 0);
 
-  uint8_t* HostPtr(SimAddr addr);
-  const uint8_t* HostPtr(SimAddr addr) const;
+  uint8_t* HostPtr(SimAddr addr) {
+    return addr >= kTargetBase
+               ? target_backing_.data() + (addr - kTargetBase)
+               : dram_backing_.data() + (addr - kDramBase);
+  }
+  const uint8_t* HostPtr(SimAddr addr) const {
+    return const_cast<Machine*>(this)->HostPtr(addr);
+  }
 
   // ---- Tracing & symbolization ----
 
   FunctionRegistry& registry() { return registry_; }
+  // Install/clear the trace sink. Not thread-safe against running cores:
+  // each core caches the raw pointer so its per-op emit check is a plain
+  // branch instead of an atomic load.
   void SetTraceSink(TraceSink* sink) {
     sink_.store(sink, std::memory_order_release);
+    RefreshCoreFastPaths();
   }
   TraceSink* trace_sink() const {
     return sink_.load(std::memory_order_acquire);
@@ -100,8 +125,14 @@ class Machine {
 
   // Registers a pre-store issue-path hook (fault injector, governor, ...).
   // A hint issues only if every registered hook allows it.
-  void AddPrestoreHook(PrestoreHook* hook) { prestore_hooks_.push_back(hook); }
-  void ClearPrestoreHooks() { prestore_hooks_.clear(); }
+  void AddPrestoreHook(PrestoreHook* hook) {
+    prestore_hooks_.push_back(hook);
+    RefreshCoreFastPaths();
+  }
+  void ClearPrestoreHooks() {
+    prestore_hooks_.clear();
+    RefreshCoreFastPaths();
+  }
   const std::vector<PrestoreHook*>& prestore_hooks() const {
     return prestore_hooks_;
   }
@@ -173,26 +204,111 @@ class Machine {
   // only while the line is still cached (absent the clean the dirty data
   // would have coalesced); a long-evicted line owed its writeback anyway.
   bool LlcResident(uint64_t line_addr) {
-    std::lock_guard<std::mutex> lock(ShardFor(line_addr));
-    return llc_->Probe(line_addr) != nullptr;
+    LlcShard& shard = ShardFor(line_addr);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.cache->Probe(line_addr) != nullptr;
   }
 
-  MachineStats& hierarchy_stats() { return hstats_; }
+  // On-demand aggregate of the per-core counter stripes. Exact once the
+  // cores have quiesced; a mid-run snapshot may miss in-flight bumps (the
+  // old global-atomic accounting had the same property).
+  MachineStats hierarchy_stats() const {
+    MachineStats out;
+    for (size_t i = 0; i < cores_.size(); ++i) {
+      const MachineStatStripe& s = hstripes_[i];
+      out.llc_hits += s.llc_hits.load(std::memory_order_relaxed);
+      out.llc_misses += s.llc_misses.load(std::memory_order_relaxed);
+      out.llc_evictions += s.llc_evictions.load(std::memory_order_relaxed);
+      out.back_invalidations +=
+          s.back_invalidations.load(std::memory_order_relaxed);
+      out.interventions += s.interventions.load(std::memory_order_relaxed);
+      out.wbq_stall_cycles +=
+          s.wbq_stall_cycles.load(std::memory_order_relaxed);
+      out.dir_upgrades += s.dir_upgrades.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  // Test-only: additionally mirror every stripe bump into one shared struct
+  // with fetch_add — the pre-rework accounting — so a test can assert the
+  // striped aggregate reproduces it exactly on the same concurrent run.
+  // Call before the run; costs one predictable branch per bump thereafter.
+  void EnableShadowStats() {
+    if (shadow_hstats_ == nullptr) {
+      shadow_hstats_ = std::make_unique<MachineStatStripe>();
+    }
+  }
+  MachineStats ShadowStatsSnapshot() const {
+    MachineStats out;
+    if (shadow_hstats_ != nullptr) {
+      const MachineStatStripe& s = *shadow_hstats_;
+      out.llc_hits = s.llc_hits.load(std::memory_order_relaxed);
+      out.llc_misses = s.llc_misses.load(std::memory_order_relaxed);
+      out.llc_evictions = s.llc_evictions.load(std::memory_order_relaxed);
+      out.back_invalidations =
+          s.back_invalidations.load(std::memory_order_relaxed);
+      out.interventions = s.interventions.load(std::memory_order_relaxed);
+      out.wbq_stall_cycles =
+          s.wbq_stall_cycles.load(std::memory_order_relaxed);
+      out.dir_upgrades = s.dir_upgrades.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  // Sorted addresses of every line currently valid in the LLC. Diagnostics
+  // and determinism digests only — call when no cores are running.
+  std::vector<uint64_t> LlcValidLines() const;
 
  private:
-  std::mutex& ShardFor(uint64_t line_addr) {
-    return llc_shards_[llc_->SetIndexOf(line_addr) % kNumShards];
+  // One LLC shard: every kNumShards-th set of the logical LLC, with its own
+  // replacement state and lock, padded so shards never share a cache line.
+  // The shard of global set g is g % kNumShards — the same mapping the
+  // pre-rework engine used for its mutex array, so the serialization
+  // constraints (and hence all simulated results) are unchanged.
+  struct alignas(64) LlcShard {
+    std::unique_ptr<SetAssocCache> cache;
+    std::mutex mu;
+  };
+
+  size_t LlcShardIndexOf(uint64_t line_addr) const {
+    const uint64_t frame = line_addr >> llc_line_shift_;
+    const uint64_t g = llc_set_mask_ != 0 ? (frame & llc_set_mask_)
+                                          : frame % llc_global_sets_;
+    return g & (kNumShards - 1);
+  }
+  LlcShard& ShardFor(uint64_t line_addr) {
+    return llc_shards_[LlcShardIndexOf(line_addr)];
   }
 
   // Handles an LLC victim under the shard lock: back-invalidates L1 copies
-  // and writes dirty data to the device. Returns the time the evicting
-  // access of core `self` may proceed: eviction writebacks go through the
-  // core's bounded writeback queue, so a device that has fallen behind
-  // stalls the cache (without this, deferred eviction traffic would be free
-  // and the §4.1 write amplification could never cost baseline runtime).
-  uint64_t HandleLlcVictimLocked(uint8_t self,
-                                 const SetAssocCache::Victim& victim,
-                                 uint64_t now);
+  // and accounts the eviction. Returns true when a dirty writeback is owed;
+  // the caller performs it via FinishEvictionWriteback AFTER releasing the
+  // shard lock (device meters have their own synchronization).
+  bool HandleLlcVictimLocked(uint8_t self,
+                             const SetAssocCache::Victim& victim);
+
+  // Issues an eviction writeback to the victim's device. Returns the time
+  // the evicting access of core `self` may proceed: eviction writebacks go
+  // through the core's bounded writeback queue, so a device that has fallen
+  // behind stalls the cache (without this, deferred eviction traffic would
+  // be free and the §4.1 write amplification could never cost baseline
+  // runtime).
+  uint64_t FinishEvictionWriteback(uint8_t self, uint64_t line_addr,
+                                   uint64_t now);
+
+  // Single-writer stripe bump (core `self`'s host thread), mirrored into
+  // the shadow struct when a stats-equivalence test enabled it.
+  void Bump(uint8_t self, std::atomic<uint64_t> MachineStatStripe::*field,
+            uint64_t n = 1) {
+    std::atomic<uint64_t>& c = hstripes_[self].*field;
+    c.store(c.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
+    if (shadow_hstats_ != nullptr) {
+      (shadow_hstats_.get()->*field).fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  void RefreshCoreFastPaths();
 
   static constexpr size_t kNumShards = 64;
 
@@ -200,8 +316,10 @@ class Machine {
   std::unique_ptr<Device> dram_;
   std::unique_ptr<Device> target_;
 
-  std::unique_ptr<SetAssocCache> llc_;
-  std::vector<std::mutex> llc_shards_{kNumShards};
+  std::vector<LlcShard> llc_shards_;
+  uint64_t llc_global_sets_ = 0;
+  uint64_t llc_set_mask_ = 0;  // llc_global_sets_ - 1 when pow2, else 0
+  uint32_t llc_line_shift_ = 0;
 
   std::vector<std::unique_ptr<Core>> cores_;
 
@@ -210,7 +328,8 @@ class Machine {
   std::atomic<uint64_t> dram_brk_{0};
   std::atomic<uint64_t> target_brk_{0};
 
-  MachineStats hstats_;
+  std::unique_ptr<MachineStatStripe[]> hstripes_;  // one per core
+  std::unique_ptr<MachineStatStripe> shadow_hstats_;
   FunctionRegistry registry_;
   std::atomic<TraceSink*> sink_{nullptr};
   std::vector<PrestoreHook*> prestore_hooks_;

@@ -1,6 +1,8 @@
 // Machine preset invariants: the configurations every experiment stands on.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "src/sim/config.h"
 
 namespace prestore {
@@ -56,6 +58,57 @@ TEST(Presets, CachesConsistent) {
 TEST(Presets, CoreCountPropagates) {
   EXPECT_EQ(MachineA(3).num_cores, 3u);
   EXPECT_EQ(MachineBFast(7).num_cores, 7u);
+}
+
+// CacheConfig::Validate guards the invariants the cache model assumes:
+// power-of-two line sizes (shift/mask indexing), ways within the kQuadAge
+// victim-candidate buffer (uint32_t[64], one slot per way), power-of-two
+// ways for the tree-PLRU walk, and at least one complete set.
+TEST(CacheConfigValidate, AcceptsEveryPreset) {
+  for (const MachineConfig& m :
+       {MachineA(), MachineBFast(), MachineBSlow(), MachineACxlSsd()}) {
+    EXPECT_NO_THROW(m.l1.Validate("l1")) << m.name;
+    EXPECT_NO_THROW(m.llc.Validate("llc")) << m.name;
+  }
+}
+
+TEST(CacheConfigValidate, RejectsZeroWays) {
+  CacheConfig c = MachineA().llc;
+  c.ways = 0;
+  EXPECT_THROW(c.Validate("llc"), std::invalid_argument);
+}
+
+TEST(CacheConfigValidate, RejectsWaysBeyondCandidateBuffer) {
+  CacheConfig c = MachineA().llc;
+  c.ways = 65;  // kQuadAge gathers candidates into a 64-slot buffer
+  c.size_bytes = 65 * 64 * 16;  // keep at least one complete set
+  EXPECT_THROW(c.Validate("llc"), std::invalid_argument);
+  c.ways = 64;
+  EXPECT_NO_THROW(c.Validate("llc"));
+}
+
+TEST(CacheConfigValidate, RejectsNonPow2LineSize) {
+  CacheConfig c = MachineA().l1;
+  c.line_size = 96;
+  EXPECT_THROW(c.Validate("l1"), std::invalid_argument);
+  c.line_size = 0;
+  EXPECT_THROW(c.Validate("l1"), std::invalid_argument);
+}
+
+TEST(CacheConfigValidate, RejectsNonPow2WaysForTreePlru) {
+  CacheConfig c = MachineA().l1;
+  ASSERT_EQ(c.policy, ReplacementPolicy::kTreePlru);
+  c.ways = 6;
+  EXPECT_THROW(c.Validate("l1"), std::invalid_argument);
+  // The same geometry is fine under a policy without the tree walk.
+  c.policy = ReplacementPolicy::kLru;
+  EXPECT_NO_THROW(c.Validate("l1"));
+}
+
+TEST(CacheConfigValidate, RejectsSizeWithoutOneFullSet) {
+  CacheConfig c = MachineA().l1;
+  c.size_bytes = c.ways * c.line_size - 1;
+  EXPECT_THROW(c.Validate("l1"), std::invalid_argument);
 }
 
 }  // namespace

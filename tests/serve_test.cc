@@ -144,6 +144,9 @@ TEST(Serve, ClosedLoopAnswersEveryRequest) {
   EXPECT_GE(result.get_latency.p99, result.get_latency.p50);
   EXPECT_GT(result.cycles, 0u);
   EXPECT_TRUE(result.shard_policies.empty());  // ungoverned
+  // The serving window's cache traffic surfaces in the aggregated
+  // hierarchy counters (filled from the per-core stat stripes).
+  EXPECT_GT(result.hierarchy.llc_hits + result.hierarchy.llc_misses, 0u);
 }
 
 TEST(Serve, ReadModifyWriteDoublesWriteRequests) {

@@ -1,0 +1,77 @@
+// Determinism guard for the simulation engine (ISSUE 5 / DESIGN.md §10).
+//
+// A sequential replay of a fixed trace must leave the machine in a
+// bit-identical state for a fixed seed: same cycle totals, same media-byte
+// counters, same LLC content (which encodes every eviction decision). The
+// digests below were recorded from the engine BEFORE the fast-path rework
+// (global atomic MachineStats, monolithic LLC behind sharded mutexes);
+// the reworked engine — striped stats, truly sharded LLC, way-hint probes —
+// must reproduce them exactly, proving the optimizations changed no
+// simulated result.
+//
+// The traces use the integer-only uniform key stream (zipf_theta = 0):
+// zipfian generation rounds through std::pow, whose last-bit behaviour is
+// libm-specific, and a recorded digest must not depend on the host's libm.
+#include <gtest/gtest.h>
+
+#include "src/sim/config.h"
+#include "src/sim/machine.h"
+#include "src/sim/replay.h"
+
+namespace prestore {
+namespace {
+
+ReplayTraceConfig DigestTrace(uint32_t workers) {
+  ReplayTraceConfig cfg;
+  cfg.workers = workers;
+  cfg.ops_per_worker = 20000;
+  cfg.keys_per_worker = 2048;
+  cfg.shared_keys = 512;
+  cfg.shared_fraction = 0.25;  // exercise the cross-core coherence paths
+  cfg.value_size = 256;
+  cfg.read_ratio = 0.5;
+  cfg.zipf_theta = 0.0;  // integer-only key stream (portable digest)
+  cfg.clean_period = 8;
+  cfg.seed = 42;
+  return cfg;
+}
+
+uint64_t RunDigest(const MachineConfig& mc, uint32_t workers) {
+  Machine machine(mc);
+  const ReplayTrace trace =
+      GenerateReplayTrace(machine, DigestTrace(workers));
+  ReplaySequential(machine, trace);
+  return DigestMachine(machine, workers);
+}
+
+// Machine A: TSO drain, QuadAge LLC (per-set RNG victim choice), PMEM
+// target with internal write-combining blocks.
+TEST(SimDeterminism, MachineADigestMatchesPreReworkEngine) {
+  constexpr uint64_t kRecorded = 14557681877422147460ULL;
+  EXPECT_EQ(RunDigest(MachineA(4), 4), kRecorded);
+}
+
+// Machine B: weak drain (store buffer + fence publication), random-policy
+// LLC, far-memory target with on-device directory.
+TEST(SimDeterminism, MachineBDigestMatchesPreReworkEngine) {
+  constexpr uint64_t kRecorded = 2163896687524659229ULL;
+  EXPECT_EQ(RunDigest(MachineBFast(3), 3), kRecorded);
+}
+
+// Same-process repeatability, independent of any recorded constant (and of
+// libm: this variant runs the zipfian trace too).
+TEST(SimDeterminism, RepeatedReplaysAreBitIdentical) {
+  ReplayTraceConfig cfg = DigestTrace(4);
+  cfg.zipf_theta = 0.99;
+  uint64_t digests[2];
+  for (int i = 0; i < 2; ++i) {
+    Machine machine(MachineA(4));
+    const ReplayTrace trace = GenerateReplayTrace(machine, cfg);
+    ReplaySequential(machine, trace);
+    digests[i] = DigestMachine(machine, 4);
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+}  // namespace
+}  // namespace prestore

@@ -1,0 +1,80 @@
+// Single-configuration engine-throughput runs, for profiling the simulator
+// itself (e.g. under `perf record`) without the bench's fixed 1/2/4/8 sweep.
+//
+//   sim_throughput_cli --workers=8 --ops=1000000 --theta=0.99
+//   sim_throughput_cli --workers=1 --sequential --digest
+//
+// Prints one human-readable line; --json=PATH additionally writes the run
+// as a JSON object. --digest runs the replay sequentially and prints the
+// machine end-state digest (the determinism-guard value).
+#include <cstdio>
+#include <string>
+
+#include "src/sim/config.h"
+#include "src/sim/machine.h"
+#include "src/sim/replay.h"
+#include "src/util/cli.h"
+
+using namespace prestore;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  ReplayTraceConfig cfg;
+  cfg.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
+  cfg.ops_per_worker = flags.GetInt("ops", 400000);
+  cfg.keys_per_worker = flags.GetInt("keys", 4096);
+  cfg.shared_keys = flags.GetInt("shared-keys", 1024);
+  cfg.shared_fraction = flags.GetDouble("shared-fraction", 0.125);
+  cfg.value_size = static_cast<uint32_t>(flags.GetInt("value-size", 256));
+  cfg.read_ratio = flags.GetDouble("read-ratio", 0.5);
+  cfg.zipf_theta = flags.GetDouble("theta", 0.99);
+  cfg.clean_period = static_cast<uint32_t>(flags.GetInt("clean-period", 8));
+  cfg.seed = flags.GetInt("seed", 42);
+  const bool sequential =
+      flags.GetBool("sequential", false) || flags.GetBool("digest", false);
+
+  const std::string preset = flags.GetString("machine", "A");
+  MachineConfig mc = preset == "B"    ? MachineBFast(cfg.workers)
+                     : preset == "Bslow" ? MachineBSlow(cfg.workers)
+                                         : MachineA(cfg.workers);
+  Machine machine(mc);
+  const ReplayTrace trace = GenerateReplayTrace(machine, cfg);
+  const ReplayResult result = sequential ? ReplaySequential(machine, trace)
+                                         : ReplayConcurrent(machine, trace);
+
+  std::printf(
+      "machine=%s workers=%u mode=%s accesses=%llu host_sec=%.3f"
+      " accesses/sec=%.0f sim_Mcycles=%.1f llc_hits=%llu llc_misses=%llu\n",
+      mc.name.c_str(), cfg.workers, sequential ? "sequential" : "concurrent",
+      static_cast<unsigned long long>(result.accesses), result.host_seconds,
+      result.accesses_per_sec,
+      static_cast<double>(result.sim_cycles) / 1e6,
+      static_cast<unsigned long long>(result.hierarchy.llc_hits),
+      static_cast<unsigned long long>(result.hierarchy.llc_misses));
+  if (flags.GetBool("digest", false)) {
+    std::printf("digest=%016llx\n",
+                static_cast<unsigned long long>(
+                    DigestMachine(machine, cfg.workers)));
+  }
+
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\"machine\": \"%s\", \"workers\": %u, \"mode\": \"%s\","
+        " \"accesses\": %llu, \"host_seconds\": %.6f,"
+        " \"accesses_per_sec\": %.0f, \"sim_cycles\": %llu}\n",
+        mc.name.c_str(), cfg.workers,
+        sequential ? "sequential" : "concurrent",
+        static_cast<unsigned long long>(result.accesses),
+        result.host_seconds, result.accesses_per_sec,
+        static_cast<unsigned long long>(result.sim_cycles));
+    std::fclose(out);
+  }
+  return 0;
+}
