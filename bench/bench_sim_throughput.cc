@@ -106,6 +106,13 @@ int main(int argc, char** argv) {
     sweep.push_back(point);
   }
 
+  if (sweep.empty()) {
+    std::fprintf(stderr,
+                 "no sweep points: --max-workers=%u excludes every worker "
+                 "count in {1,2,4,8}\n",
+                 max_workers);
+    return 1;
+  }
   const double base = sweep.front().result.accesses_per_sec;
   std::printf("\nscaling vs 1 worker:");
   for (const SweepPoint& p : sweep) {

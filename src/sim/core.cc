@@ -18,8 +18,9 @@ Core::Core(Machine* machine, uint8_t id, const MachineConfig& config)
     : machine_(machine), id_(id), config_(config), l1_(config.l1, config.seed ^ (0x17ULL * id + 3)) {}
 
 void Core::RefreshFastPathFlags() {
-  sink_fast_ = machine_->trace_sink();
-  has_hooks_ = !machine_->prestore_hooks().empty();
+  sink_fast_.store(machine_->trace_sink(), std::memory_order_release);
+  has_hooks_.store(!machine_->prestore_hooks().empty(),
+                   std::memory_order_release);
 }
 
 void Core::PushFunc(FuncToken token) {
@@ -264,7 +265,7 @@ void Core::NotifyRewriteIfCleaned(uint64_t line_addr) {
 }
 
 void Core::LineStore(uint64_t line_addr) {
-  if (has_hooks_) {
+  if (HasHooks()) {
     NotifyRewriteIfCleaned(line_addr);
   }
   WaitPendingWriteback(line_addr);
@@ -396,7 +397,7 @@ void Core::Fence() {
   PublishClock();
   ++stats_.fences;
   ++icount_;
-  if (has_hooks_) {
+  if (HasHooks()) {
     for (PrestoreHook* hook : machine_->prestore_hooks()) {
       hook->OnFence(id_, now_);
     }
@@ -479,7 +480,7 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
   const uint64_t last = LineBase(addr + size - 1, ls);
   const std::vector<PrestoreHook*>& hooks = machine_->prestore_hooks();
   for (uint64_t line = first; line <= last; line += ls) {
-    if (has_hooks_) {
+    if (HasHooks()) {
       uint64_t delay = 0;
       bool drop = false;
       for (PrestoreHook* hook : hooks) {
@@ -530,14 +531,14 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
           const uint64_t published = machine_->PublishLine(id_, line, now_);
           PushBg(published);
           PushWc(line, machine_->CleanLine(id_, line, published));
-          if (has_hooks_) {
+          if (HasHooks()) {
             NoteCleanedLine(line);
           }
         } else {
           const uint64_t c = machine_->CleanLine(id_, line, now_);
           if (c != now_) {
             PushWc(line, c);
-            if (has_hooks_) {
+            if (HasHooks()) {
               NoteCleanedLine(line);
             }
           } else {

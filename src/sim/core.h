@@ -168,7 +168,9 @@ class Core {
 
   // Re-reads the machine's trace-sink and pre-store-hook registrations into
   // the core-local fast-path fields below. Machine calls this whenever a
-  // sink or hook is (un)installed; never call while the core is running.
+  // sink or hook is (un)installed. The cached fields are atomics, so a
+  // mid-run SetTraceSink is safe; hook (un)installation still requires
+  // quiesced cores (the hook vector itself is unsynchronized — hooks.h).
   void RefreshFastPathFlags();
 
  private:
@@ -204,14 +206,17 @@ class Core {
 
   // Per-op trace emission. The unhooked case must cost one predicted
   // branch, so the sink pointer is cached core-locally (refreshed by
-  // RefreshFastPathFlags) instead of being re-read through the machine's
-  // atomic on every memory operation.
+  // RefreshFastPathFlags) instead of being chased through the machine on
+  // every memory operation. The cache is an atomic so SetTraceSink stays
+  // safe against running cores; the uncontended acquire load compiles to a
+  // plain load on x86/ARM.
   void Emit(TraceKind kind, SimAddr addr, uint32_t size) {
-    if (sink_fast_ == nullptr) {
+    TraceSink* sink = sink_fast_.load(std::memory_order_acquire);
+    if (sink == nullptr) {
       return;
     }
-    sink_fast_->Record(TraceRecord{kind, id_, size, addr, icount_,
-                                   CurrentFunc(), cur_chain_});
+    sink->Record(TraceRecord{kind, id_, size, addr, icount_,
+                             CurrentFunc(), cur_chain_});
   }
   void PublishClock();
 
@@ -219,9 +224,15 @@ class Core {
   uint8_t id_;
   const MachineConfig& config_;
 
-  // Cached fast-path state (see RefreshFastPathFlags).
-  TraceSink* sink_fast_ = nullptr;
-  bool has_hooks_ = false;
+  // Cached fast-path state (see RefreshFastPathFlags). Atomics because
+  // RefreshCoreFastPaths may run (e.g. from a mid-run SetTraceSink) while
+  // this core's host thread is between ops; relaxed/acquire loads keep the
+  // per-op cost at a plain load. Hook semantics are unchanged: the hook
+  // VECTOR is still only mutated with cores quiesced (hooks.h contract) —
+  // the atomic only de-races the cached flag itself.
+  std::atomic<TraceSink*> sink_fast_{nullptr};
+  std::atomic<bool> has_hooks_{false};
+  bool HasHooks() const { return has_hooks_.load(std::memory_order_relaxed); }
 
   uint64_t now_ = 0;
   uint64_t icount_ = 0;

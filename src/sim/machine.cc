@@ -175,6 +175,80 @@ uint64_t Machine::FinishEvictionWriteback(uint8_t self, uint64_t line_addr,
   return proceed;
 }
 
+namespace {
+
+// Directory update for the access mode; the final step of every LLC access
+// once the coherence protocol has run.
+void ApplyAccessMode(CacheLineMeta* meta, uint8_t self, Machine::AccessMode mode,
+                     bool incoming_dirty) {
+  switch (mode) {
+    case Machine::AccessMode::kRead:
+      meta->sharers |= 1ULL << self;
+      break;
+    case Machine::AccessMode::kWrite:
+      meta->sharers = 1ULL << self;
+      meta->owner = self;
+      break;
+    case Machine::AccessMode::kDemote:
+      meta->sharers &= ~(1ULL << self);
+      meta->owner = kNoOwner;
+      meta->dirty = meta->dirty || incoming_dirty;
+      break;
+  }
+}
+
+}  // namespace
+
+uint64_t Machine::LlcHitLocked(uint8_t self, uint64_t line_addr,
+                               AccessMode mode, bool incoming_dirty,
+                               Device& dev, bool far, CacheLineMeta* meta,
+                               uint64_t t) {
+  Bump(self, &MachineStatStripe::llc_hits);
+  t += config_.llc.hit_latency;
+  const uint8_t prev_owner = meta->owner;
+  if (prev_owner != kNoOwner && prev_owner != self) {
+    // Another core's L1 holds the line Modified: intervene.
+    Bump(self, &MachineStatStripe::interventions);
+    t += config_.snoop_latency;
+    Core& owner = *cores_[prev_owner];
+    std::lock_guard<std::mutex> l1_lock(owner.l1_mu());
+    CacheLineMeta* ol = owner.l1().Probe(line_addr);
+    if (mode == AccessMode::kRead) {
+      if (ol != nullptr) {
+        ol->dirty = false;
+        ol->exclusive = false;
+      }
+    } else {
+      if (ol != nullptr) {
+        owner.l1().Remove(line_addr);
+      }
+      meta->sharers &= ~(1ULL << prev_owner);
+    }
+    meta->dirty = true;  // modified data is now at the LLC level
+    meta->owner = kNoOwner;
+  }
+  if (mode != AccessMode::kRead) {
+    uint64_t others = meta->sharers & ~(1ULL << self);
+    if (others != 0) {
+      t += config_.snoop_latency;
+      while (others != 0) {
+        const int s = __builtin_ctzll(others);
+        others &= others - 1;
+        Core& c = *cores_[s];
+        std::lock_guard<std::mutex> l1_lock(c.l1_mu());
+        c.l1().Remove(line_addr);
+        meta->sharers &= ~(1ULL << s);
+      }
+    }
+    if (far && prev_owner != self) {
+      // Line-state upgrade: the directory lives on the device (§4.2).
+      t = dev.DirectoryAccess(t);
+    }
+  }
+  ApplyAccessMode(meta, self, mode, incoming_dirty);
+  return t;
+}
+
 uint64_t Machine::LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
                             uint64_t start, bool streamed,
                             bool incoming_dirty) {
@@ -182,85 +256,24 @@ uint64_t Machine::LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
   const bool far = dev.config().kind == DeviceKind::kFarMemory;
   uint64_t t = start;
 
-  const auto apply_mode = [&](CacheLineMeta* meta) {
-    switch (mode) {
-      case AccessMode::kRead:
-        meta->sharers |= 1ULL << self;
-        break;
-      case AccessMode::kWrite:
-        meta->sharers = 1ULL << self;
-        meta->owner = self;
-        break;
-      case AccessMode::kDemote:
-        meta->sharers &= ~(1ULL << self);
-        meta->owner = kNoOwner;
-        meta->dirty = meta->dirty || incoming_dirty;
-        break;
-    }
-  };
-
   LlcShard& shard = ShardFor(line_addr);
   {
     std::lock_guard<std::mutex> shard_lock(shard.mu);
-    SetAssocCache& llc = *shard.cache;
-    CacheLineMeta* meta = llc.Touch(line_addr);
+    CacheLineMeta* meta = shard.cache->Touch(line_addr);
     if (meta != nullptr) {
-      Bump(self, &MachineStatStripe::llc_hits);
-      t += config_.llc.hit_latency;
-      const uint8_t prev_owner = meta->owner;
-      if (prev_owner != kNoOwner && prev_owner != self) {
-        // Another core's L1 holds the line Modified: intervene.
-        Bump(self, &MachineStatStripe::interventions);
-        t += config_.snoop_latency;
-        Core& owner = *cores_[prev_owner];
-        std::lock_guard<std::mutex> l1_lock(owner.l1_mu());
-        CacheLineMeta* ol = owner.l1().Probe(line_addr);
-        if (mode == AccessMode::kRead) {
-          if (ol != nullptr) {
-            ol->dirty = false;
-            ol->exclusive = false;
-          }
-        } else {
-          if (ol != nullptr) {
-            owner.l1().Remove(line_addr);
-          }
-          meta->sharers &= ~(1ULL << prev_owner);
-        }
-        meta->dirty = true;  // modified data is now at the LLC level
-        meta->owner = kNoOwner;
-      }
-      if (mode != AccessMode::kRead) {
-        uint64_t others = meta->sharers & ~(1ULL << self);
-        if (others != 0) {
-          t += config_.snoop_latency;
-          while (others != 0) {
-            const int s = __builtin_ctzll(others);
-            others &= others - 1;
-            Core& c = *cores_[s];
-            std::lock_guard<std::mutex> l1_lock(c.l1_mu());
-            c.l1().Remove(line_addr);
-            meta->sharers &= ~(1ULL << s);
-          }
-        }
-        if (far && prev_owner != self) {
-          // Line-state upgrade: the directory lives on the device (§4.2).
-          t = dev.DirectoryAccess(t);
-        }
-      }
-      apply_mode(meta);
-      return t;
+      return LlcHitLocked(self, line_addr, mode, incoming_dirty, dev, far,
+                          meta, t);
     }
   }
 
-  // Miss. The device work — (for writes to far memory) directory update,
-  // then the line read — runs with the shard UNLOCKED: it only touches the
-  // device's own synchronization, and keeping it out of the shard critical
-  // section keeps other cores' accesses to the shard's sets moving. On a
-  // single driving thread the instruction order is exactly the pre-split
-  // order, so sequential replays are bit-identical.
-  Bump(self, &MachineStatStripe::llc_misses);
+  // Probable miss. The device work — (for writes to far memory) directory
+  // update, then the line read — runs with the shard UNLOCKED: it only
+  // touches the device's own synchronization, and keeping it out of the
+  // shard critical section keeps other cores' accesses to the shard's sets
+  // moving. On a single driving thread the instruction order is exactly the
+  // pre-split order, so sequential replays are bit-identical. Hit/miss
+  // accounting waits until the re-probe below settles which one this is.
   if (mode != AccessMode::kRead && far) {
-    Bump(self, &MachineStatStripe::dir_upgrades);
     t = dev.DirectoryAccess(t);
   }
   const uint64_t read_done = dev.Read(line_addr, config_.line_size, t);
@@ -273,16 +286,27 @@ uint64_t Machine::LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
     SetAssocCache& llc = *shard.cache;
     // Re-probe: while the shard was unlocked another core may have filled
     // the line (concurrent runs only — a failed Touch mutates nothing, so a
-    // sequential replay re-misses with untouched state).
+    // sequential replay re-misses with untouched state). A refilled line may
+    // carry a new Modified owner or new sharers, so the access must run the
+    // full hit protocol, exactly as if the first probe had hit; it is
+    // counted as a hit. The speculative device read (and, for far writes,
+    // the directory access) already reserved its meter work and stays in
+    // `t` — a concurrent-mode-only latency/meter pessimism.
     CacheLineMeta* meta = llc.Touch(line_addr);
-    if (meta == nullptr) {
-      SetAssocCache::Victim victim = llc.Insert(line_addr, false, &meta);
-      if (HandleLlcVictimLocked(self, victim)) {
-        wb_owed = true;
-        victim_line = victim.line_addr;
-      }
+    if (meta != nullptr) {
+      return LlcHitLocked(self, line_addr, mode, incoming_dirty, dev, far,
+                          meta, t);
     }
-    apply_mode(meta);
+    Bump(self, &MachineStatStripe::llc_misses);
+    if (mode != AccessMode::kRead && far) {
+      Bump(self, &MachineStatStripe::dir_upgrades);
+    }
+    SetAssocCache::Victim victim = llc.Insert(line_addr, false, &meta);
+    if (HandleLlcVictimLocked(self, victim)) {
+      wb_owed = true;
+      victim_line = victim.line_addr;
+    }
+    ApplyAccessMode(meta, self, mode, incoming_dirty);
   }
   if (wb_owed) {
     t = std::max(t, FinishEvictionWriteback(self, victim_line, start));

@@ -103,9 +103,10 @@ class Machine {
   // ---- Tracing & symbolization ----
 
   FunctionRegistry& registry() { return registry_; }
-  // Install/clear the trace sink. Not thread-safe against running cores:
-  // each core caches the raw pointer so its per-op emit check is a plain
-  // branch instead of an atomic load.
+  // Install/clear the trace sink. Safe mid-run: each core caches the
+  // pointer in a core-local atomic (refreshed here), so its per-op emit
+  // check is one uncontended acquire load — a plain load on x86/ARM —
+  // instead of a pointer chase through the machine.
   void SetTraceSink(TraceSink* sink) {
     sink_.store(sink, std::memory_order_release);
     RefreshCoreFastPaths();
@@ -279,6 +280,16 @@ class Machine {
   LlcShard& ShardFor(uint64_t line_addr) {
     return llc_shards_[LlcShardIndexOf(line_addr)];
   }
+
+  // Hit-path coherence protocol, run under the line's shard lock: hit
+  // accounting, intervention on a Modified owner, snoop of other sharers on
+  // non-read access, the far-memory directory upgrade, and the mode's
+  // directory update. Shared by the first probe and the post-miss re-probe
+  // so a line another core filled while the shard was unlocked gets the
+  // identical treatment. Returns the access completion time.
+  uint64_t LlcHitLocked(uint8_t self, uint64_t line_addr, AccessMode mode,
+                        bool incoming_dirty, Device& dev, bool far,
+                        CacheLineMeta* meta, uint64_t t);
 
   // Handles an LLC victim under the shard lock: back-invalidates L1 copies
   // and accounts the eviction. Returns true when a dirty writeback is owed;
