@@ -137,7 +137,8 @@ int main(int argc, char** argv) {
   std::cout << "=== YCSB-A against the sharded KV server (§9) ===\n\n";
   {
     TextTable t({"config", "ops", "write_amp", "get_p50", "get_p99",
-                 "put_p99", "batch_fill", "ops/Mcycle"});
+                 "get_p99.9", "put_p99", "put_p99.9", "batch_fill",
+                 "ops/Mcycle"});
     auto row = [&](const char* name, bool batched_clean, bool governed) {
       Machine machine = HealthyMachine();
       ServeConfig cfg = HealthyConfig(ops);
@@ -155,8 +156,8 @@ int main(int argc, char** argv) {
       server.SetWorkload(cfg.ycsb.workload, ops);
       const ServeResult r = ServeYcsb(machine, server);
       t.AddRow(name, r.ops, r.write_amplification, r.get_latency.p50,
-               r.get_latency.p99, r.put_latency.p99, r.BatchFill(),
-               r.ThroughputPerMcycle());
+               r.get_latency.p99, r.get_latency.p999, r.put_latency.p99,
+               r.put_latency.p999, r.BatchFill(), r.ThroughputPerMcycle());
       return r;
     };
     const ServeResult base = row("baseline (no sweep)", false, false);

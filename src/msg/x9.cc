@@ -38,6 +38,9 @@ X9Inbox::X9Inbox(Machine& machine, uint32_t slots, uint32_t msg_size,
 }
 
 bool X9Inbox::TryWrite(Core& core, const void* payload, MsgPrestore mode) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return false;  // owner refused admission: retry-after, like "full"
+  }
   const uint64_t ls = machine_.config().line_size;
   uint64_t tail = core.AtomicLoadU64(tail_addr_);
   const SimAddr slot = SlotAddr(tail);
@@ -112,8 +115,27 @@ bool X9Inbox::Peek() {
 }
 
 bool X9Inbox::CanWrite() {
+  if (closed_.load(std::memory_order_acquire)) {
+    return false;
+  }
   const uint64_t tail = HostLoadU64(machine_, tail_addr_);
   return HostLoadU64(machine_, SlotAddr(tail)) == tail;
+}
+
+void X9Inbox::Close() { closed_.store(true, std::memory_order_release); }
+
+void X9Inbox::Reopen() { closed_.store(false, std::memory_order_release); }
+
+bool X9Inbox::closed() const {
+  return closed_.load(std::memory_order_acquire);
+}
+
+bool X9Inbox::Quiesced() {
+  // head == tail: every claimed index has been consumed. A producer that
+  // slipped past the closed check before Close() shows up here as
+  // head < tail until its publish lands and the owner's drain consumes it.
+  return HostLoadU64(machine_, head_addr_) ==
+         HostLoadU64(machine_, tail_addr_);
 }
 
 bool X9Inbox::TryWriteStamped(Core& core, uint64_t marker, MsgPrestore mode) {

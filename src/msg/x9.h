@@ -9,6 +9,8 @@
 #ifndef SRC_MSG_X9_H_
 #define SRC_MSG_X9_H_
 
+#include <atomic>
+
 #include "src/sim/core.h"
 #include "src/sim/machine.h"
 
@@ -69,6 +71,20 @@ class X9Inbox {
   // Returns the marker and the embedded send timestamp.
   bool TryReadStamped(Core& core, uint64_t* marker, uint64_t* send_time);
 
+  // ---- Owner-side admission control (cluster failover, DESIGN.md §11) ----
+  // Close() makes every subsequent TryWrite/CanWrite report "full" (the
+  // retry-after signal a sender sees from a killed or draining node) while
+  // TryRead/Peek keep working, so the owner drains what was already
+  // accepted. A producer that passed the closed check before Close() may
+  // still claim and publish ONE more index; the owner's shutdown drain
+  // therefore loops until Quiesced() (head == tail: every claimed index
+  // consumed) — only then can no acknowledged message be stranded.
+  void Close();
+  void Reopen();
+  bool closed() const;
+  // Host-side: true when every claimed ring index has been consumed.
+  bool Quiesced();
+
  private:
   // Slot layout: [sequence line][stamp + payload lines]. The sequence word
   // (Vyukov-style bounded-queue protocol) encodes the slot's phase: value
@@ -80,6 +96,9 @@ class X9Inbox {
   }
 
   Machine& machine_;
+  // Host-side flag, not simulated state: models the node-local admission
+  // gate a dead/draining owner flips, without charging anyone cycles.
+  std::atomic<bool> closed_{false};
   uint32_t num_slots_;
   uint32_t msg_size_;
   uint64_t slot_bytes_;

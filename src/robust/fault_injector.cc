@@ -35,7 +35,7 @@ FaultInjector::FaultInjector(const FaultPlan& plan) : seed_(plan.seed) {
       const uint64_t gap = half + rng.Below(2 * half);
       t += gap;
       schedule_.push_back(FaultWindow{spec.kind, t, t + spec.duration_cycles,
-                                      spec.magnitude});
+                                      spec.magnitude, spec.node});
     }
   }
   std::sort(schedule_.begin(), schedule_.end(),
@@ -46,7 +46,10 @@ FaultInjector::FaultInjector(const FaultPlan& plan) : seed_(plan.seed) {
               if (a.kind != b.kind) {
                 return a.kind < b.kind;
               }
-              return a.magnitude < b.magnitude;
+              if (a.magnitude != b.magnitude) {
+                return a.magnitude < b.magnitude;
+              }
+              return a.node < b.node;
             });
   for (const FaultWindow& w : schedule_) {
     by_kind_[static_cast<size_t>(w.kind)].push_back(w);
@@ -94,6 +97,58 @@ uint64_t FaultInjector::ExtraDirectoryLatency(uint64_t now) {
       ActiveMagnitude(FaultKind::kDirectoryTimeout, now));
 }
 
+bool FaultInjector::NodeKilled(uint32_t node, uint64_t at) const {
+  for (const FaultWindow& w :
+       by_kind_[static_cast<size_t>(FaultKind::kNodeKill)]) {
+    if (w.start_cycle > at) {
+      break;  // sorted by start
+    }
+    if (w.node == node) {
+      return true;  // kills are permanent: duration is ignored
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::NodeDraining(uint32_t node, uint64_t at) const {
+  return DrainEndAfter(node, at) != 0;
+}
+
+uint64_t FaultInjector::DrainEndAfter(uint32_t node, uint64_t at) const {
+  uint64_t end = 0;
+  for (const FaultWindow& w :
+       by_kind_[static_cast<size_t>(FaultKind::kNodeDrain)]) {
+    if (w.start_cycle > at) {
+      break;
+    }
+    if (w.node == node && at < w.end_cycle) {
+      end = std::max(end, w.end_cycle);
+    }
+  }
+  return end;
+}
+
+uint64_t FaultInjector::NodeDegradeCycles(uint32_t node, uint64_t at) const {
+  uint64_t extra = 0;
+  for (const FaultWindow& w :
+       by_kind_[static_cast<size_t>(FaultKind::kNodeDegrade)]) {
+    if (w.start_cycle > at) {
+      break;
+    }
+    if (w.node == node && at < w.end_cycle) {
+      extra += static_cast<uint64_t>(w.magnitude);
+    }
+  }
+  return extra;
+}
+
+void FaultInjector::RecordNodeRejection(uint32_t lane, FaultKind kind,
+                                        uint32_t node, uint64_t at) {
+  const size_t slot = lane % kMaxCores;
+  reject_log_[slot].push_back(
+      RejectLogEntry{reject_log_[slot].size(), kind, node, at});
+}
+
 HintFate FaultInjector::OnPrestoreHint(uint8_t core, uint64_t line_addr,
                                        PrestoreOp op, uint64_t now,
                                        uint64_t* delay_cycles) {
@@ -129,9 +184,9 @@ std::string FaultInjector::EventLog() const {
   for (const FaultWindow& w : schedule_) {
     std::snprintf(buf, sizeof(buf),
                   "window kind=%s start=%" PRIu64 " end=%" PRIu64
-                  " magnitude=%.6g\n",
+                  " magnitude=%.6g node=%u\n",
                   std::string(ToString(w.kind)).c_str(), w.start_cycle,
-                  w.end_cycle, w.magnitude);
+                  w.end_cycle, w.magnitude, w.node);
     log += buf;
   }
   for (size_t core = 0; core < kMaxCores; ++core) {
@@ -141,6 +196,16 @@ std::string FaultInjector::EventLog() const {
                     " %s=%" PRIu64 "\n",
                     core, e.ordinal, e.line_addr,
                     e.dropped ? "dropped" : "delayed", e.delay_cycles);
+      log += buf;
+    }
+  }
+  for (size_t lane = 0; lane < kMaxCores; ++lane) {
+    for (const RejectLogEntry& e : reject_log_[lane]) {
+      std::snprintf(buf, sizeof(buf),
+                    "reject lane=%zu ordinal=%" PRIu64 " kind=%s node=%u"
+                    " at=%" PRIu64 "\n",
+                    lane, e.ordinal, std::string(ToString(e.kind)).c_str(),
+                    e.node, e.at);
       log += buf;
     }
   }

@@ -54,6 +54,27 @@ class FaultInjector : public DeviceFaultHook, public PrestoreHook {
   HintFate OnPrestoreHint(uint8_t core, uint64_t line_addr, PrestoreOp op,
                           uint64_t now, uint64_t* delay_cycles) override;
 
+  // ---- Node-level fault queries (cluster serving, DESIGN.md §11) ----
+  // `at` is run-relative: the cluster anchors its serving window at cycle 0
+  // of the schedule, so decisions keyed on scheduled submit times replay
+  // identically regardless of how long construction/preload took.
+  //
+  // A kill is permanent: active from its window's start_cycle onward.
+  bool NodeKilled(uint32_t node, uint64_t at) const;
+  // A drain refuses NEW work for [start, end); queued work still completes.
+  bool NodeDraining(uint32_t node, uint64_t at) const;
+  // End of the drain window active at `at` (the rejoin time), 0 if none.
+  uint64_t DrainEndAfter(uint32_t node, uint64_t at) const;
+  // Extra service cycles per request while a degrade window is active.
+  uint64_t NodeDegradeCycles(uint32_t node, uint64_t at) const;
+
+  // Router-side rejection log: one lane per driver thread (single-writer,
+  // like the per-core hint logs), serialized into EventLog(). `at` is the
+  // request's run-relative decision time — a pure function of the client's
+  // schedule, so the log replays byte-identically.
+  void RecordNodeRejection(uint32_t lane, FaultKind kind, uint32_t node,
+                           uint64_t at);
+
  private:
   static constexpr size_t kMaxCores = 64;
 
@@ -64,17 +85,26 @@ class FaultInjector : public DeviceFaultHook, public PrestoreHook {
     uint64_t delay_cycles;
   };
 
+  struct RejectLogEntry {
+    uint64_t ordinal;  // per-lane rejection counter value
+    FaultKind kind;
+    uint32_t node;
+    uint64_t at;  // run-relative decision time
+  };
+
   // Sum / max of active-window magnitudes of `kind` at `now`.
   double ActiveMagnitude(FaultKind kind, uint64_t now) const;
 
   uint64_t seed_;
   std::vector<FaultWindow> schedule_;
   // Per-kind views into the schedule, sorted by start, for fast queries.
-  std::array<std::vector<FaultWindow>, 6> by_kind_;
+  std::array<std::vector<FaultWindow>, kNumFaultKinds> by_kind_;
   // Per-core hint ordinals and intervention logs. Each slot is only ever
   // touched by its own core's host thread.
   std::array<uint64_t, kMaxCores> hint_ordinal_{};
   std::array<std::vector<HintLogEntry>, kMaxCores> hint_log_;
+  // Per-lane rejection logs (one lane per driver thread, single-writer).
+  std::array<std::vector<RejectLogEntry>, kMaxCores> reject_log_;
 };
 
 }  // namespace prestore

@@ -7,6 +7,7 @@
 #ifndef SRC_ROBUST_FAULT_PLAN_H_
 #define SRC_ROBUST_FAULT_PLAN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -20,7 +21,15 @@ enum class FaultKind : uint8_t {
   kDirectoryTimeout,   // magnitude = extra cycles per directory access
   kDropHint,           // magnitude = drop probability in [0, 1]
   kDelayHint,          // magnitude = issue delay in cycles per hint
+  // ---- Node-level faults (cluster serving, DESIGN.md §11). `node` selects
+  // the victim; times are run-relative cycles (the cluster run anchors them
+  // at its measured serving window, not at machine construction).
+  kNodeKill,     // node dead from start_cycle on (duration ignored)
+  kNodeDegrade,  // magnitude = extra cycles charged per request served
+  kNodeDrain,    // node refuses new work for [start, end), then rejoins
 };
+
+constexpr size_t kNumFaultKinds = 9;
 
 constexpr std::string_view ToString(FaultKind kind) {
   switch (kind) {
@@ -36,6 +45,12 @@ constexpr std::string_view ToString(FaultKind kind) {
       return "drop_hint";
     case FaultKind::kDelayHint:
       return "delay_hint";
+    case FaultKind::kNodeKill:
+      return "node_kill";
+    case FaultKind::kNodeDegrade:
+      return "node_degrade";
+    case FaultKind::kNodeDrain:
+      return "node_drain";
   }
   return "?";
 }
@@ -49,6 +64,7 @@ struct FaultSpec {
   uint64_t duration_cycles = 10000;
   double magnitude = 1.0;
   uint32_t count = 1;
+  uint32_t node = 0;  // victim node, node-level kinds only
 };
 
 struct FaultPlan {
@@ -63,6 +79,7 @@ struct FaultWindow {
   uint64_t start_cycle;
   uint64_t end_cycle;
   double magnitude;
+  uint32_t node = 0;  // victim node, node-level kinds only
 };
 
 }  // namespace prestore

@@ -5,6 +5,7 @@
 #include <memory>
 #include <thread>
 
+#include "src/serve/schedule_window.h"
 #include "src/sim/harness.h"
 #include "src/util/rng.h"
 #include "src/util/zipf.h"
@@ -36,39 +37,11 @@ void ReadValue(Core& core, FuncToken func, SimAddr value, uint32_t size) {
   core.Execute(sum % 3 + 1);
 }
 
-// Published schedule positions of the open-loop clients (next_send per
-// client, UINT64_MAX once a client has sent its last request). Clients are
-// host threads free-running through their simulated schedules, so without a
-// brake host scheduling noise lets one client race hundreds of arrival
-// intervals ahead of a descheduled peer; the shard workers' clocks follow
-// the leader's submit times and the straggler's requests are then measured
-// late by the full divergence. Each client therefore holds (in host time
-// only — no simulated cost) until its slowest peer is within the inflight
-// horizon. This is the conservative-window rule of parallel discrete-event
-// simulation, applied to the only free-running event source in the run.
-struct ScheduleBoard {
-  explicit ScheduleBoard(uint32_t clients)
-      : pos(new std::atomic<uint64_t>[clients]), count(clients) {
-    for (uint32_t c = 0; c < clients; ++c) {
-      pos[c].store(0, std::memory_order_relaxed);
-    }
-  }
-  uint64_t Min() const {
-    uint64_t m = UINT64_MAX;
-    for (uint32_t c = 0; c < count; ++c) {
-      m = std::min(m, pos[c].load(std::memory_order_relaxed));
-    }
-    return m;
-  }
-  std::unique_ptr<std::atomic<uint64_t>[]> pos;
-  uint32_t count;
-};
-
 class ClientSession {
  public:
   ClientSession(KvServer& server, Core& core, uint32_t client,
                 std::atomic<uint64_t>& latest_key, FuncToken read_func,
-                ScheduleBoard& board, ClientCounters& out)
+                ScheduleWindow& board, ClientCounters& out)
       : server_(server),
         core_(core),
         cfg_(server.config()),
@@ -106,10 +79,7 @@ class ClientSession {
                                            std::max(1u, cfg_.ycsb.threads);
     uint32_t sent = 0;
     uint32_t inflight = 0;
-    const uint64_t skew_window =
-        cfg_.open_loop_interval * std::max(1u, cfg_.max_inflight);
-    board_.pos[client_].store(total > 0 ? next_send : UINT64_MAX,
-                              std::memory_order_relaxed);
+    board_.Advance(client_, total > 0 ? next_send : UINT64_MAX);
     ResponseMsg resp;
     while (sent < total || inflight > 0) {
       if (inflight > 0 && server_.HasResponse(client_) &&
@@ -119,11 +89,11 @@ class ClientSession {
         continue;
       }
       if (sent < total && inflight < cfg_.max_inflight) {
-        if (next_send > board_.Min() + skew_window) {
+        if (!board_.MayFire(next_send)) {
           // A peer's schedule is more than the inflight horizon behind:
           // hold in host time (responses keep draining at the loop top)
-          // until it catches up. Its slot reads 0 until it starts, so this
-          // doubles as the start barrier.
+          // until it catches up. Peers stay registered at the run's start
+          // until they begin, so this doubles as the start barrier.
           std::this_thread::yield();
           continue;
         }
@@ -150,8 +120,7 @@ class ClientSession {
           ++sent;
           ++inflight;
           next_send += cfg_.open_loop_interval;
-          board_.pos[client_].store(sent == total ? UINT64_MAX : next_send,
-                                    std::memory_order_relaxed);
+          board_.Advance(client_, sent == total ? UINT64_MAX : next_send);
         } else {
           ++out_.retries;
           core_.Execute(cfg_.retry_backoff_cycles);
@@ -242,7 +211,7 @@ class ClientSession {
   const uint32_t client_;
   std::atomic<uint64_t>& latest_key_;
   const FuncToken read_func_;
-  ScheduleBoard& board_;
+  ScheduleWindow& board_;
   ClientCounters& out_;
   Xoshiro256 rng_;
   ZipfianGenerator zipf_;
@@ -267,7 +236,10 @@ ServeResult ServeYcsb(Machine& machine, KvServer& server) {
   machine.ResetStats();
 
   std::vector<ClientCounters> counters(nclients);
-  ScheduleBoard board(nclients);
+  // One-interval buckets, inflight-horizon window — the same conservative
+  // bound ScheduleBoard enforced, now O(1) per advance (schedule_window.h).
+  ScheduleWindow board(nclients, cfg.open_loop_interval,
+                       std::max(1u, cfg.max_inflight), machine.GlobalTime());
   std::atomic<uint64_t> latest_key{cfg.ycsb.num_keys};
   const uint64_t cycles = RunParallel(
       machine, nshards + nclients, [&](Core& core, uint32_t tid) {

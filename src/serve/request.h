@@ -24,14 +24,22 @@ enum class ServeOp : uint64_t {
 struct RequestMsg {
   uint64_t op = 0;  // ServeOp
   uint64_t key = 0;
-  uint64_t client = 0;       // response inbox index
+  uint64_t client = 0;       // logical client id (cluster: demux key, too)
   uint64_t seq = 0;          // client-local sequence number, echoed back
   uint64_t submit_time = 0;  // client clock at submission (echoed back)
+  // Earliest cycle the server may start service. Single-machine serving
+  // leaves it 0 (submit_time is the bound); the cluster stamps the arrival
+  // time of the CURRENT attempt — original submit plus failover round
+  // trips and backoff — so a request re-routed after its primary died
+  // cannot be served "in the past" and its measured latency keeps the
+  // failover delay (latency stays completion - submit_time).
+  uint64_t not_before = 0;
 };
 
 // Shard -> client response queue.
 struct ResponseMsg {
-  uint64_t op = 0;  // ServeOp (echo)
+  uint64_t op = 0;      // ServeOp (echo)
+  uint64_t client = 0;  // echo: cluster drivers share one inbox per node
   uint64_t seq = 0;
   uint64_t status = 0;       // 1 = ok / key found, 0 = GET miss
   uint64_t value_addr = 0;   // simulated address of the value (GET hit / PUT)

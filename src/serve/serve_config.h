@@ -66,6 +66,34 @@ struct ServeConfig {
   // returns false) and the client retries after this many cycles.
   uint64_t retry_backoff_cycles = 200;
 
+  // ---- Cluster serving (KvCluster, DESIGN.md §11). Ignored by the
+  // single-machine KvServer; validated whenever cluster_nodes > 1. ----
+  // N node machines, each hosting num_shards shard workers. Every key lives
+  // on `replication_factor` distinct nodes chosen by consistent hashing
+  // over `virtual_nodes` ring points per node (power of two, so the ring
+  // re-seeds reproducibly when nodes are added).
+  uint32_t cluster_nodes = 1;
+  uint32_t replication_factor = 1;
+  uint32_t virtual_nodes = 64;
+  uint64_t ring_seed = 0x5ca1ab1e;
+  // Per (peer, shard) replication channel capacity (X9Inbox, power of two).
+  uint32_t repl_queue_slots = 64;
+  // One-way inter-node hop, charged on replication sends, on responses, and
+  // on each failed attempt's refusal round trip (2x).
+  uint64_t net_latency_cycles = 500;
+  // Router-side health tracking: a node is marked unhealthy after this many
+  // CONSECUTIVE retry-after/refused results, and is then only probed again
+  // after a capped exponential backoff (base << excess-failures, <= cap).
+  uint32_t unhealthy_after = 2;
+  uint64_t failover_backoff_base_cycles = 2000;
+  uint64_t failover_backoff_cap_cycles = 64000;
+  // A request is abandoned (recorded as failed, never silently dropped)
+  // after this many full passes over its replica set.
+  uint32_t max_attempts = 8;
+  // Logical open-loop clients multiplexed over the ycsb.threads driver
+  // threads (0 = one per driver). Each sends ycsb.ops_per_thread requests.
+  uint32_t logical_clients = 0;
+
   // Measurement settle window: responses to requests submitted within the
   // first `settle_cycles` of a run are served normally and counted in the
   // op totals, but excluded from the latency meter. A run starts with a
@@ -103,6 +131,46 @@ struct ServeConfig {
       if (max_inflight == 0 || max_inflight > response_slots) {
         return "max_inflight must be in [1, response_slots] (a shard worker "
                "blocks on a full response queue)";
+      }
+    }
+    if (cluster_nodes > 1) {
+      if (!open_loop) {
+        return "cluster serving is open-loop only: set open_loop";
+      }
+      if (ycsb.workload == YcsbWorkload::kD) {
+        return "cluster serving does not support workload D (the latest-key "
+               "distribution couples clients through one shared counter)";
+      }
+      if (replication_factor == 0 || replication_factor > cluster_nodes) {
+        return "replication_factor must be in [1, cluster_nodes]";
+      }
+      if (replication_factor > 8) {
+        return "replication_factor must be <= 8 (router placement buffer)";
+      }
+      if (virtual_nodes == 0 || (virtual_nodes & (virtual_nodes - 1)) != 0) {
+        return "virtual_nodes must be a power of two";
+      }
+      if (repl_queue_slots == 0 ||
+          (repl_queue_slots & (repl_queue_slots - 1)) != 0) {
+        return "repl_queue_slots must be a power of two";
+      }
+      if (failover_backoff_cap_cycles == 0 ||
+          failover_backoff_cap_cycles < failover_backoff_base_cycles) {
+        return "failover_backoff_cap_cycles must be nonzero and >= the base";
+      }
+      if (unhealthy_after == 0) {
+        return "unhealthy_after must be > 0";
+      }
+      if (max_attempts == 0) {
+        return "max_attempts must be > 0";
+      }
+      // Per node machine: num_shards workers + one repl-ingress core per
+      // (peer, shard) channel + one core per driver thread.
+      const uint64_t cores_per_node =
+          static_cast<uint64_t>(num_shards) * cluster_nodes + ycsb.threads;
+      if (cores_per_node > 255) {
+        return "cluster core budget: shards * nodes + drivers must fit the "
+               "per-machine core-id space";
       }
     }
     return "";

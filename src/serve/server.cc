@@ -11,10 +11,8 @@
 
 namespace prestore {
 
-namespace {
-
-std::unique_ptr<KvStore> MakeStore(Machine& machine, ServeIndex index,
-                                   uint64_t keys_per_shard) {
+std::unique_ptr<KvStore> MakeServeStore(Machine& machine, ServeIndex index,
+                                        uint64_t keys_per_shard) {
   if (index == ServeIndex::kMasstree) {
     return std::make_unique<Masstree>(machine);
   }
@@ -24,7 +22,66 @@ std::unique_ptr<KvStore> MakeStore(Machine& machine, ServeIndex index,
   return std::make_unique<ClhtMap>(machine, buckets);
 }
 
-}  // namespace
+std::unique_ptr<ValueArena> MakeShardArena(Machine& machine,
+                                           const ServeConfig& config,
+                                           uint32_t shard) {
+  // Arena regions must belong to exactly one shard for the governor's
+  // per-region backoff to act per shard: pad each arena's allocation to
+  // whole regions (nothing else in a region ever receives clean hints, so
+  // co-residents can't pollute the telemetry). Region-aligned bases are all
+  // congruent modulo the target's DIMM-interleave period, though, and the
+  // shard workers advance their arena cursors at similar rates — without a
+  // per-shard phase stagger every worker writes to the same DIMM at the
+  // same time, and the resulting one-DIMM hotspot queues the whole server
+  // into a backlog the open-loop load never lets drain.
+  const uint64_t arena_align =
+      config.governed ? 1ULL << config.governor.region_shift : 0;
+  const uint64_t interleave_period =
+      static_cast<uint64_t>(machine.config().target.interleave_bytes) *
+      std::max(1u, machine.config().target.interleave_dimms);
+  const uint64_t arena_phase =
+      arena_align != 0
+          ? shard * machine.config().target.interleave_bytes %
+                std::min<uint64_t>(interleave_period, arena_align)
+          : 0;
+  return std::make_unique<ValueArena>(machine, config.ycsb.arena_slots,
+                                      config.ycsb.value_size, arena_align,
+                                      arena_phase);
+}
+
+std::vector<ShardPolicy> CollectShardPolicies(
+    const PrestoreGovernor* governor,
+    const std::vector<const ValueArena*>& arenas) {
+  std::vector<ShardPolicy> out;
+  if (governor == nullptr) {
+    return out;
+  }
+  const PrestoreGovernor::Snapshot snap = governor->TakeSnapshot();
+  out.reserve(arenas.size());
+  for (uint32_t s = 0; s < arenas.size(); ++s) {
+    const SimAddr base = arenas[s]->span_base();
+    const SimAddr end = arenas[s]->base() + arenas[s]->bytes();
+    ShardPolicy policy;
+    policy.shard = s;
+    for (const PrestoreGovernor::RegionSnapshot& region : snap.regions) {
+      if (region.region_base < base || region.region_base >= end) {
+        continue;
+      }
+      ++policy.regions;
+      if (region.state == RegionBackoff::State::kBackoff) {
+        ++policy.backed_off_regions;
+      }
+      policy.admitted += region.admitted;
+      policy.suppressed += region.suppressed;
+      policy.rewrites += region.rewrites;
+      policy.useless += region.useless;
+      policy.backoffs += region.backoffs;
+      policy.reopens += region.reopens;
+    }
+    out.push_back(policy);
+  }
+  return out;
+}
 
 KvServer::KvServer(Machine& machine, const ServeConfig& config)
     : machine_(machine),
@@ -36,35 +93,14 @@ KvServer::KvServer(Machine& machine, const ServeConfig& config)
   if (!error.empty()) {
     throw std::invalid_argument("ServeConfig: " + error);
   }
-  // Arena regions must belong to exactly one shard for the governor's
-  // per-region backoff to act per shard: pad each arena's allocation to
-  // whole regions (nothing else in a region ever receives clean hints, so
-  // co-residents can't pollute the telemetry). Region-aligned bases are all
-  // congruent modulo the target's DIMM-interleave period, though, and the
-  // shard workers advance their arena cursors at similar rates — without a
-  // per-shard phase stagger every worker writes to the same DIMM at the
-  // same time, and the resulting one-DIMM hotspot queues the whole server
-  // into a backlog the open-loop load never lets drain.
-  const uint64_t arena_align =
-      config_.governed ? 1ULL << config_.governor.region_shift : 0;
-  const uint64_t interleave_period =
-      static_cast<uint64_t>(machine_.config().target.interleave_bytes) *
-      std::max(1u, machine_.config().target.interleave_dimms);
   const uint64_t keys_per_shard =
       config_.ycsb.num_keys / config_.num_shards + 1;
   shards_.resize(config_.num_shards);
   for (uint32_t s = 0; s < config_.num_shards; ++s) {
-    shards_[s].store = MakeStore(machine_, config_.index, keys_per_shard);
+    shards_[s].store = MakeServeStore(machine_, config_.index, keys_per_shard);
     shards_[s].requests = std::make_unique<X9Inbox>(
         machine_, config_.queue_slots, sizeof(RequestMsg), Region::kDram);
-    const uint64_t arena_phase =
-        arena_align != 0
-            ? s * machine_.config().target.interleave_bytes %
-                  std::min<uint64_t>(interleave_period, arena_align)
-            : 0;
-    shards_[s].arena = std::make_unique<ValueArena>(
-        machine_, config_.ycsb.arena_slots, config_.ycsb.value_size,
-        arena_align, arena_phase);
+    shards_[s].arena = MakeShardArena(machine_, config_, s);
   }
   for (uint32_t c = 0; c < config_.ycsb.threads; ++c) {
     responses_.push_back(std::make_unique<X9Inbox>(
@@ -191,6 +227,7 @@ void KvServer::ShardWorkerLoop(Core& core, uint32_t shard_idx) {
       }
       ResponseMsg resp;
       resp.op = r.op;
+      resp.client = r.client;
       resp.seq = r.seq;
       resp.submit_time = r.submit_time;
       if (static_cast<ServeOp>(r.op) == ServeOp::kGet) {
@@ -242,36 +279,12 @@ uint64_t KvServer::TotalBatches() const {
 }
 
 std::vector<ShardPolicy> KvServer::ShardPolicies() const {
-  std::vector<ShardPolicy> out;
-  if (governor_ == nullptr) {
-    return out;
+  std::vector<const ValueArena*> arenas;
+  arenas.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    arenas.push_back(shard.arena.get());
   }
-  const PrestoreGovernor::Snapshot snap = governor_->TakeSnapshot();
-  out.reserve(shards_.size());
-  for (uint32_t s = 0; s < shards_.size(); ++s) {
-    const SimAddr base = shards_[s].arena->span_base();
-    const SimAddr end =
-        shards_[s].arena->base() + shards_[s].arena->bytes();
-    ShardPolicy policy;
-    policy.shard = s;
-    for (const PrestoreGovernor::RegionSnapshot& region : snap.regions) {
-      if (region.region_base < base || region.region_base >= end) {
-        continue;
-      }
-      ++policy.regions;
-      if (region.state == RegionBackoff::State::kBackoff) {
-        ++policy.backed_off_regions;
-      }
-      policy.admitted += region.admitted;
-      policy.suppressed += region.suppressed;
-      policy.rewrites += region.rewrites;
-      policy.useless += region.useless;
-      policy.backoffs += region.backoffs;
-      policy.reopens += region.reopens;
-    }
-    out.push_back(policy);
-  }
-  return out;
+  return CollectShardPolicies(governor_.get(), arenas);
 }
 
 }  // namespace prestore

@@ -44,6 +44,20 @@ struct ShardPolicy {
   uint32_t reopens = 0;
 };
 
+// Construction helpers shared by KvServer and the cluster's per-node
+// serving state (cluster.cc): index choice and the region-aligned,
+// DIMM-phase-staggered shard arena described in KvServer's constructor.
+std::unique_ptr<KvStore> MakeServeStore(Machine& machine, ServeIndex index,
+                                        uint64_t keys_per_shard);
+std::unique_ptr<ValueArena> MakeShardArena(Machine& machine,
+                                           const ServeConfig& config,
+                                           uint32_t shard);
+// Maps a governor snapshot onto per-shard arena address ranges (empty when
+// `governor` is null).
+std::vector<ShardPolicy> CollectShardPolicies(
+    const PrestoreGovernor* governor,
+    const std::vector<const ValueArena*>& arenas);
+
 class KvServer {
  public:
   // Throws std::invalid_argument when config.Validate() reports a problem.

@@ -221,5 +221,108 @@ TEST(X9, DemoteCutsSendLatency) {
   EXPECT_LT(demote, base);
 }
 
+// ---- Owner-side admission control (cluster failover, DESIGN.md §11) ----
+
+TEST(X9, ClosedInboxRejectsWritesButStillDrains) {
+  Machine m(MachineBFast(2));
+  X9Inbox inbox(m, 8, 128);
+  Core& core = m.core(0);
+  char payload[128] = {};
+  ASSERT_TRUE(inbox.TryWrite(core, payload, MsgPrestore::kOff));
+  ASSERT_TRUE(inbox.TryWrite(core, payload, MsgPrestore::kOff));
+
+  inbox.Close();
+  EXPECT_TRUE(inbox.closed());
+  // Senders see the retry-after signal, not an error and not a hang.
+  EXPECT_FALSE(inbox.CanWrite());
+  EXPECT_FALSE(inbox.TryWrite(core, payload, MsgPrestore::kOff));
+
+  // The owner still drains what was accepted before the close.
+  EXPECT_FALSE(inbox.Quiesced());
+  char out[128];
+  EXPECT_TRUE(inbox.Peek());
+  EXPECT_TRUE(inbox.TryRead(core, out));
+  EXPECT_TRUE(inbox.TryRead(core, out));
+  EXPECT_FALSE(inbox.TryRead(core, out));
+  EXPECT_TRUE(inbox.Quiesced());
+
+  // Reopen (a drained node rejoining) restores admission.
+  inbox.Reopen();
+  EXPECT_FALSE(inbox.closed());
+  EXPECT_TRUE(inbox.TryWrite(core, payload, MsgPrestore::kOff));
+}
+
+TEST(X9, QuiescedTracksClaimedIndices) {
+  Machine m(MachineBFast(2));
+  X9Inbox inbox(m, 8, 64);
+  Core& core = m.core(0);
+  EXPECT_TRUE(inbox.Quiesced());
+  char payload[64] = {};
+  ASSERT_TRUE(inbox.TryWrite(core, payload, MsgPrestore::kOff));
+  EXPECT_FALSE(inbox.Quiesced());
+  char out[64];
+  ASSERT_TRUE(inbox.TryRead(core, out));
+  EXPECT_TRUE(inbox.Quiesced());
+}
+
+TEST(X9, CloseMidStreamSenderObservesRejectionAndNothingStrands) {
+  // A producer streams messages while the owner closes the inbox mid-run
+  // (a kill/drain hitting a replication channel). The producer must
+  // observe the rejection and stop — no hang — and the owner's
+  // drain-until-Quiesced must consume every message the producer
+  // successfully published, including the one straggler that may slip in
+  // after Close() (it passed the closed check first).
+  Machine m(MachineBFast(2));
+  X9Inbox inbox(m, 8, 64);
+  std::atomic<uint64_t> published{0};
+  std::atomic<bool> producer_done{false};
+  std::atomic<bool> saw_rejection{false};
+  uint64_t consumed = 0;
+
+  RunParallel(m, 2, [&](Core& core, uint32_t tid) {
+    if (tid == 0) {
+      // Producer: send until the owner turns us away.
+      uint64_t marker = 0;
+      while (true) {
+        if (inbox.TryWriteStamped(core, ++marker, MsgPrestore::kOff)) {
+          published.fetch_add(1, std::memory_order_relaxed);
+        } else if (inbox.closed()) {
+          saw_rejection.store(true, std::memory_order_relaxed);
+          break;  // retry-after from a dead node: give up, no spin-forever
+        } else {
+          core.SpinPause(20);  // transient full: keep going
+        }
+      }
+      producer_done.store(true, std::memory_order_release);
+    } else {
+      // Owner: accept a few messages, then close mid-stream and drain.
+      uint64_t marker = 0;
+      uint64_t stamp = 0;
+      while (consumed < 5) {
+        if (inbox.TryReadStamped(core, &marker, &stamp)) {
+          ++consumed;
+        } else {
+          core.SpinPause(20);
+        }
+      }
+      inbox.Close();
+      while (!producer_done.load(std::memory_order_acquire) ||
+             !inbox.Quiesced()) {
+        if (inbox.TryReadStamped(core, &marker, &stamp)) {
+          ++consumed;
+        } else {
+          core.SpinPause(20);
+        }
+      }
+    }
+  });
+
+  EXPECT_TRUE(saw_rejection.load());
+  // Every successfully published message was consumed: an acked send is
+  // never stranded behind a closed inbox.
+  EXPECT_EQ(consumed, published.load());
+  EXPECT_TRUE(inbox.Quiesced());
+}
+
 }  // namespace
 }  // namespace prestore

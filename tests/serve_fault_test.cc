@@ -9,7 +9,10 @@
 // plan seed alone, and the client key streams are seeded per client.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "src/robust/fault_injector.h"
+#include "src/serve/cluster.h"
 #include "src/serve/loadgen.h"
 #include "src/serve/server.h"
 
@@ -115,6 +118,169 @@ TEST(ServeFault, GovernedShardBacksOffAndReopens) {
 
   // The injector saw the run and its log replays deterministically.
   EXPECT_FALSE(injector.EventLog().empty());
+}
+
+// ---- Node-level faults (cluster serving, DESIGN.md §11) ----
+
+namespace {
+
+FaultPlan NodePlan() {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.specs.push_back(FaultSpec{.kind = FaultKind::kNodeKill,
+                                 .mean_period_cycles = 100000,
+                                 .duration_cycles = 1,
+                                 .magnitude = 1.0,
+                                 .count = 1,
+                                 .node = 1});
+  plan.specs.push_back(FaultSpec{.kind = FaultKind::kNodeDrain,
+                                 .mean_period_cycles = 80000,
+                                 .duration_cycles = 40000,
+                                 .magnitude = 1.0,
+                                 .count = 1,
+                                 .node = 2});
+  plan.specs.push_back(FaultSpec{.kind = FaultKind::kNodeDegrade,
+                                 .mean_period_cycles = 60000,
+                                 .duration_cycles = 30000,
+                                 .magnitude = 5000.0,
+                                 .count = 2,
+                                 .node = 0});
+  return plan;
+}
+
+uint64_t StartOf(const FaultInjector& injector, FaultKind kind) {
+  for (const FaultWindow& w : injector.schedule()) {
+    if (w.kind == kind) {
+      return w.start_cycle;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+TEST(NodeFault, KillIsPermanentAndPerNode) {
+  FaultInjector injector(NodePlan());
+  const uint64_t start = StartOf(injector, FaultKind::kNodeKill);
+  ASSERT_GT(start, 0u);
+  EXPECT_FALSE(injector.NodeKilled(1, start - 1));
+  EXPECT_TRUE(injector.NodeKilled(1, start));
+  // Permanent: active arbitrarily far past the window's end.
+  EXPECT_TRUE(injector.NodeKilled(1, start + 100000000));
+  // Other nodes are untouched.
+  EXPECT_FALSE(injector.NodeKilled(0, start + 100000000));
+  EXPECT_FALSE(injector.NodeKilled(2, start + 100000000));
+}
+
+TEST(NodeFault, DrainIsAWindowWithARejoinTime) {
+  FaultInjector injector(NodePlan());
+  uint64_t start = 0;
+  uint64_t end = 0;
+  for (const FaultWindow& w : injector.schedule()) {
+    if (w.kind == FaultKind::kNodeDrain) {
+      start = w.start_cycle;
+      end = w.end_cycle;
+    }
+  }
+  ASSERT_GT(start, 0u);
+  ASSERT_GT(end, start);
+  EXPECT_FALSE(injector.NodeDraining(2, start - 1));
+  EXPECT_TRUE(injector.NodeDraining(2, start));
+  EXPECT_TRUE(injector.NodeDraining(2, end - 1));
+  EXPECT_FALSE(injector.NodeDraining(2, end));  // rejoined
+  EXPECT_EQ(injector.DrainEndAfter(2, start), end);
+  EXPECT_EQ(injector.DrainEndAfter(2, end), 0u);  // no active window
+  EXPECT_FALSE(injector.NodeDraining(1, start));  // per-node
+}
+
+TEST(NodeFault, DegradeChargesExtraCyclesInsideItsWindows) {
+  FaultInjector injector(NodePlan());
+  uint64_t inside = 0;
+  for (const FaultWindow& w : injector.schedule()) {
+    if (w.kind == FaultKind::kNodeDegrade) {
+      inside = w.start_cycle;
+      EXPECT_EQ(injector.NodeDegradeCycles(0, w.start_cycle), 5000u);
+      EXPECT_EQ(injector.NodeDegradeCycles(0, w.end_cycle), 0u);
+      EXPECT_EQ(injector.NodeDegradeCycles(1, w.start_cycle), 0u);
+    }
+  }
+  ASSERT_GT(inside, 0u);
+}
+
+TEST(NodeFault, RejectionLogLandsInEventLogDeterministically) {
+  auto record = [](FaultInjector& injector) {
+    // Two driver lanes logging interleaved rejections: per-lane order is
+    // the replay contract.
+    injector.RecordNodeRejection(0, FaultKind::kNodeKill, 1, 12345);
+    injector.RecordNodeRejection(1, FaultKind::kNodeDrain, 2, 23456);
+    injector.RecordNodeRejection(0, FaultKind::kNodeKill, 1, 34567);
+  };
+  FaultInjector a(NodePlan());
+  FaultInjector b(NodePlan());
+  record(a);
+  record(b);
+  const std::string log = a.EventLog();
+  EXPECT_EQ(log, b.EventLog());
+  EXPECT_NE(log.find("reject lane=0 ordinal=0 kind=node_kill node=1 "
+                     "at=12345"),
+            std::string::npos);
+  EXPECT_NE(log.find("reject lane=1 ordinal=0 kind=node_drain node=2 "
+                     "at=23456"),
+            std::string::npos);
+  EXPECT_NE(log.find("reject lane=0 ordinal=1 kind=node_kill node=1 "
+                     "at=34567"),
+            std::string::npos);
+}
+
+TEST(NodeFault, ClusterSendersObserveRetryAfterFromAKilledNode) {
+  // A cluster whose node 0 is dead from cycle 0: every request that would
+  // pick it as coordinator is refused with a retry-after and detours to a
+  // live replica, and the injector's event log records each rejection.
+  ServeConfig cfg;
+  cfg.ycsb.workload = YcsbWorkload::kA;
+  cfg.ycsb.num_keys = 256;
+  cfg.ycsb.value_size = 256;
+  cfg.ycsb.threads = 2;
+  cfg.ycsb.ops_per_thread = 40;
+  cfg.ycsb.arena_slots = 64;
+  cfg.num_shards = 2;
+  cfg.open_loop = true;
+  cfg.open_loop_interval = 40000;
+  cfg.max_inflight = 1;
+  cfg.logical_clients = 2;
+  cfg.cluster_nodes = 3;
+  cfg.replication_factor = 3;
+  ASSERT_EQ(cfg.Validate(), "");
+
+  FaultPlan plan;
+  plan.seed = 3;
+  // Dead before the run starts: mean period 1 pins the window's start to
+  // the first cycles of the schedule.
+  plan.specs.push_back(FaultSpec{.kind = FaultKind::kNodeKill,
+                                 .mean_period_cycles = 1,
+                                 .duration_cycles = 1,
+                                 .magnitude = 1.0,
+                                 .count = 1,
+                                 .node = 0});
+  FaultInjector injector(plan);
+  KvCluster cluster(cfg, {MachineA(1), MachineBFast(1), MachineBSlow(1)},
+                    &injector);
+  const ClusterResult r = RunClusterYcsb(cluster);
+
+  // No request hangs or is dropped; the dead node served nothing.
+  EXPECT_EQ(r.ops, static_cast<uint64_t>(cluster.num_clients()) *
+                       cfg.ycsb.ops_per_thread);
+  EXPECT_EQ(r.gave_up, 0u);
+  EXPECT_GT(r.refusals, 0u);
+  EXPECT_EQ(r.lost_acked_puts, 0u);
+  ASSERT_EQ(r.nodes.size(), 3u);
+  EXPECT_EQ(r.nodes[0].served, 0u);
+  EXPECT_GT(r.nodes[1].served + r.nodes[2].served, 0u);
+
+  // Each client-side refusal is in the injector's event log.
+  const std::string log = injector.EventLog();
+  EXPECT_NE(log.find("reject lane="), std::string::npos);
+  EXPECT_NE(log.find("kind=node_kill node=0"), std::string::npos);
 }
 
 }  // namespace

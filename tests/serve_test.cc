@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "src/serve/cluster.h"
 #include "src/serve/loadgen.h"
 #include "src/serve/server.h"
 #include "src/sim/harness.h"
@@ -56,6 +57,86 @@ TEST(ServeConfig, ValidateRejectsBadShapes) {
   cfg = SmallConfig();
   cfg.ycsb.zipf_theta = 1.0;
   EXPECT_NE(cfg.Validate().find("zipf_theta"), std::string::npos);
+}
+
+TEST(ServeConfig, ValidateRejectsBadClusterShapes) {
+  // A valid cluster baseline; every case below breaks exactly one knob.
+  auto cluster = [] {
+    ServeConfig cfg = SmallConfig();
+    cfg.open_loop = true;
+    cfg.cluster_nodes = 3;
+    cfg.replication_factor = 2;
+    return cfg;
+  };
+  EXPECT_EQ(cluster().Validate(), "");
+
+  ServeConfig cfg = cluster();
+  cfg.open_loop = false;  // cluster serving is open-loop only
+  EXPECT_NE(cfg.Validate().find("open-loop"), std::string::npos);
+
+  cfg = cluster();
+  cfg.ycsb.workload = YcsbWorkload::kD;  // shared latest-key counter
+  EXPECT_NE(cfg.Validate().find("workload D"), std::string::npos);
+
+  cfg = cluster();
+  cfg.replication_factor = 0;
+  EXPECT_NE(cfg.Validate().find("replication_factor"), std::string::npos);
+
+  cfg = cluster();
+  cfg.replication_factor = cfg.cluster_nodes + 1;  // more copies than nodes
+  EXPECT_NE(cfg.Validate().find("replication_factor"), std::string::npos);
+
+  cfg = cluster();
+  cfg.cluster_nodes = 16;
+  cfg.replication_factor = 9;  // beyond the router placement buffer
+  EXPECT_NE(cfg.Validate().find("replication_factor"), std::string::npos);
+
+  cfg = cluster();
+  cfg.virtual_nodes = 48;  // not a power of two
+  EXPECT_NE(cfg.Validate().find("virtual_nodes"), std::string::npos);
+
+  cfg = cluster();
+  cfg.repl_queue_slots = 0;
+  EXPECT_NE(cfg.Validate().find("repl_queue_slots"), std::string::npos);
+
+  cfg = cluster();
+  cfg.failover_backoff_cap_cycles = cfg.failover_backoff_base_cycles - 1;
+  EXPECT_NE(cfg.Validate().find("failover_backoff_cap"), std::string::npos);
+
+  cfg = cluster();
+  cfg.unhealthy_after = 0;
+  EXPECT_NE(cfg.Validate().find("unhealthy_after"), std::string::npos);
+
+  cfg = cluster();
+  cfg.max_attempts = 0;
+  EXPECT_NE(cfg.Validate().find("max_attempts"), std::string::npos);
+
+  cfg = cluster();
+  cfg.num_shards = 32;
+  cfg.cluster_nodes = 8;  // 32 * 8 + drivers > 255 core ids
+  cfg.replication_factor = 2;
+  EXPECT_NE(cfg.Validate().find("core budget"), std::string::npos);
+
+  // Single-machine configs ignore the cluster knobs entirely.
+  cfg = SmallConfig();
+  cfg.cluster_nodes = 1;
+  cfg.replication_factor = 0;
+  EXPECT_EQ(cfg.Validate(), "");
+}
+
+TEST(ServeConfig, ClusterConstructorThrowsOnInvalidConfig) {
+  ServeConfig cfg = SmallConfig();
+  cfg.open_loop = true;
+  cfg.cluster_nodes = 3;
+  cfg.replication_factor = 4;  // > nodes
+  EXPECT_THROW(
+      KvCluster(cfg, {MachineA(1), MachineBFast(1), MachineBSlow(1)}),
+      std::invalid_argument);
+
+  cfg.replication_factor = 2;
+  // Node machine list must match cluster_nodes.
+  EXPECT_THROW(KvCluster(cfg, {MachineA(1), MachineBFast(1)}),
+               std::invalid_argument);
 }
 
 TEST(ServeConfig, ServerConstructorThrowsOnInvalidConfig) {

@@ -49,6 +49,13 @@ run_pass build
 echo "==> serve smoke (kv_server_cli --smoke)"
 ./build/tools/kv_server_cli --smoke >/dev/null
 
+# Cluster failover smoke: 3 nodes, 3-way replication, one replica killed
+# mid-run by the seeded fault plan. The bench exits non-zero unless the run
+# completes with zero lost acked writes, recovered throughput, bounded p99,
+# and byte-identical outcome logs across two runs.
+echo "==> cluster failover smoke (bench_serve_cluster --smoke)"
+./build/bench/bench_serve_cluster --smoke --out=build/BENCH_serve_cluster_smoke.json >/dev/null
+
 if [[ "${FAST}" == "0" ]]; then
   # Death tests fork under sanitizers; keep the ASan quarantine small so the
   # parallel suite fits in modest CI memory.
@@ -56,6 +63,9 @@ if [[ "${FAST}" == "0" ]]; then
   run_pass build-sanitize \
     -DPRESTORE_SANITIZE=address,undefined \
     -DPRESTORE_CHECK_INVARIANTS=ON
+  echo "==> cluster failover smoke (sanitized build)"
+  ./build-sanitize/bench/bench_serve_cluster --smoke \
+    --out=build-sanitize/BENCH_serve_cluster_smoke.json >/dev/null
 fi
 
 echo "==> tier-1 gate passed"
