@@ -1,13 +1,24 @@
-// Sim-throughput benchmark tier (ISSUE 5 / DESIGN.md §10): how fast does
-// the ENGINE run on the host? Every other bench in this directory reports
-// simulated cycles; this one reports host-side simulated-accesses/sec while
-// replaying a fixed multi-core YCSB-like trace at 1/2/4/8 worker cores, so
-// the engine's own scalability — the thing the fast-path rework targets —
-// is finally tracked as a first-class result (BENCH_sim_throughput.json).
+// Sim-throughput benchmark tier (ISSUE 5, ISSUE 7 / DESIGN.md §10, §12):
+// how fast does the ENGINE run on the host? Every other bench in this
+// directory reports simulated cycles; this one reports host-side
+// simulated-accesses/sec while replaying a fixed multi-core YCSB-like
+// trace at 1/2/4/8 worker cores, in two modes:
+//  - free: free-running concurrent replay (one host thread per worker) —
+//    fast while host cores are plentiful, falls off a cliff once workers
+//    oversubscribe them, nondeterministic interleaving;
+//  - sliced: the deterministic time-sliced scheduler (src/sim/scheduler.h)
+//    — simulated concurrency decoupled from host thread count, one
+//    bit-identical digest for any M, no oversubscription cliff.
+// `--mode={free,sliced,both}` selects the sweep (default both), so the
+// cliff fix is visible in one BENCH_sim_throughput.json.
 //
-// Before measuring, a determinism self-check replays the integer-only
-// digest trace twice on fresh machines: the two end-state digests must be
-// bit-identical, or the binary exits non-zero (CI's perf-smoke job fails).
+// Before measuring, two self-checks must pass or the binary exits non-zero
+// (CI's perf-smoke job fails):
+//  1. determinism: the integer-only digest trace replayed sequentially
+//     twice on fresh machines produces one bit-identical digest;
+//  2. sliced host-thread invariance: an 8-core sliced replay of the digest
+//     trace produces the same digest on 1 and on 3 host threads.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -37,23 +48,42 @@ ReplayTraceConfig MeasuredTrace(uint32_t workers, bool quick, uint64_t seed) {
   return cfg;
 }
 
-uint64_t DeterminismDigest() {
+ReplayTraceConfig SelfCheckTrace(uint32_t workers) {
   ReplayTraceConfig cfg;
-  cfg.workers = 4;
+  cfg.workers = workers;
   cfg.ops_per_worker = 20000;
   cfg.keys_per_worker = 2048;
   cfg.shared_keys = 512;
   cfg.shared_fraction = 0.25;
   cfg.zipf_theta = 0.0;  // integer-only key stream
   cfg.seed = 42;
-  Machine machine(MachineA(cfg.workers));
-  const ReplayTrace trace = GenerateReplayTrace(machine, cfg);
+  return cfg;
+}
+
+uint64_t DeterminismDigest() {
+  Machine machine(MachineA(4));
+  const ReplayTrace trace =
+      GenerateReplayTrace(machine, SelfCheckTrace(4));
   ReplaySequential(machine, trace);
-  return DigestMachine(machine, cfg.workers);
+  return DigestMachine(machine, 4);
+}
+
+uint64_t SlicedDigest(uint32_t host_threads, uint64_t quantum) {
+  Machine machine(MachineA(8));
+  const ReplayTrace trace =
+      GenerateReplayTrace(machine, SelfCheckTrace(8));
+  ReplaySlicedOptions options;
+  options.host_threads = host_threads;
+  options.quantum = quantum;
+  ReplaySliced(machine, trace, options);
+  return DigestMachine(machine, 8);
 }
 
 struct SweepPoint {
   uint32_t workers = 0;
+  const char* mode = "";
+  bool oversubscribed = false;
+  double per_worker_efficiency = 0.0;
   ReplayResult result;
 };
 
@@ -65,10 +95,22 @@ int main(int argc, char** argv) {
   const uint64_t seed = flags.GetInt("seed", 42);
   const uint32_t max_workers =
       static_cast<uint32_t>(flags.GetInt("max-workers", 8));
+  const uint64_t quantum = flags.GetInt("quantum", 20000);
+  const std::string mode_flag = flags.GetString("mode", "both");
   const std::string out_path =
       flags.GetString("out", "BENCH_sim_throughput.json");
+  if (mode_flag != "free" && mode_flag != "sliced" && mode_flag != "both") {
+    std::fprintf(stderr, "--mode must be free, sliced, or both (got %s)\n",
+                 mode_flag.c_str());
+    return 1;
+  }
+  if (quantum == 0) {
+    std::fprintf(stderr, "--quantum must be > 0 simulated cycles\n");
+    return 1;
+  }
+  const uint32_t hw = std::thread::hardware_concurrency();
 
-  // Determinism self-check: two fresh sequential replays, one digest.
+  // Self-check 1: two fresh sequential replays, one digest.
   const uint64_t digest_a = DeterminismDigest();
   const uint64_t digest_b = DeterminismDigest();
   if (digest_a != digest_b) {
@@ -78,32 +120,76 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(digest_b));
     return 1;
   }
-  std::printf("determinism check ok (digest %016llx)\n\n",
+  // Self-check 2: the sliced digest must not depend on host thread count.
+  const uint64_t sliced_m1 = SlicedDigest(1, quantum);
+  const uint64_t sliced_m3 = SlicedDigest(3, quantum);
+  if (sliced_m1 != sliced_m3) {
+    std::fprintf(
+        stderr,
+        "SLICED INVARIANCE CHECK FAILED: M=1 digest %016llx != M=3 %016llx\n",
+        static_cast<unsigned long long>(sliced_m1),
+        static_cast<unsigned long long>(sliced_m3));
+    return 1;
+  }
+  std::printf("determinism check ok (digest %016llx)\n",
               static_cast<unsigned long long>(digest_a));
+  std::printf("sliced invariance ok (8 cores, M=1 vs M=3: %016llx)\n\n",
+              static_cast<unsigned long long>(sliced_m1));
+
+  std::vector<const char*> modes;
+  if (mode_flag == "free" || mode_flag == "both") {
+    modes.push_back("free");
+  }
+  if (mode_flag == "sliced" || mode_flag == "both") {
+    modes.push_back("sliced");
+  }
 
   std::vector<SweepPoint> sweep;
-  std::printf("%8s %14s %12s %14s %10s %10s\n", "workers", "accesses",
-              "host_sec", "accesses/sec", "llc_hit%", "Mcycles");
-  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
-    if (workers > max_workers) {
-      continue;
+  std::printf("%8s %7s %14s %10s %14s %8s %10s %8s\n", "workers", "mode",
+              "accesses", "host_sec", "accesses/sec", "eff/wkr", "llc_hit%",
+              "oversub");
+  for (const char* mode : modes) {
+    double base_per_worker = 0.0;
+    for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+      if (workers > max_workers) {
+        continue;
+      }
+      Machine machine(MachineA(workers));
+      const ReplayTrace trace =
+          GenerateReplayTrace(machine, MeasuredTrace(workers, quick, seed));
+      SweepPoint point;
+      point.workers = workers;
+      point.mode = mode;
+      point.oversubscribed = hw != 0 && hw < workers;
+      if (std::string(mode) == "sliced") {
+        ReplaySlicedOptions options;
+        options.host_threads = hw == 0 ? 1 : std::min(hw, workers);
+        options.quantum = quantum;
+        point.result = ReplaySliced(machine, trace, options);
+      } else {
+        point.result = ReplayConcurrent(machine, trace);
+      }
+      const double per_worker =
+          point.result.accesses_per_sec / static_cast<double>(workers);
+      if (workers == 1) {
+        base_per_worker = per_worker;
+      }
+      point.per_worker_efficiency =
+          base_per_worker > 0.0 ? per_worker / base_per_worker : 0.0;
+      const HierarchyCounts& h = point.result.hierarchy;
+      const uint64_t llc_refs = h.llc_hits + h.llc_misses;
+      std::printf("%8u %7s %14llu %10.3f %14.0f %8.2f %10.1f %8s\n",
+                  workers, mode,
+                  static_cast<unsigned long long>(point.result.accesses),
+                  point.result.host_seconds, point.result.accesses_per_sec,
+                  point.per_worker_efficiency,
+                  llc_refs == 0 ? 0.0
+                                : 100.0 * static_cast<double>(h.llc_hits) /
+                                      static_cast<double>(llc_refs),
+                  point.oversubscribed ? "yes" : "no");
+      sweep.push_back(point);
     }
-    Machine machine(MachineA(workers));
-    const ReplayTrace trace =
-        GenerateReplayTrace(machine, MeasuredTrace(workers, quick, seed));
-    SweepPoint point;
-    point.workers = workers;
-    point.result = ReplayConcurrent(machine, trace);
-    const HierarchyCounts& h = point.result.hierarchy;
-    const uint64_t llc_refs = h.llc_hits + h.llc_misses;
-    std::printf("%8u %14llu %12.3f %14.0f %10.1f %10.1f\n", workers,
-                static_cast<unsigned long long>(point.result.accesses),
-                point.result.host_seconds, point.result.accesses_per_sec,
-                llc_refs == 0 ? 0.0
-                              : 100.0 * static_cast<double>(h.llc_hits) /
-                                    static_cast<double>(llc_refs),
-                static_cast<double>(point.result.sim_cycles) / 1e6);
-    sweep.push_back(point);
+    std::printf("\n");
   }
 
   if (sweep.empty()) {
@@ -113,13 +199,6 @@ int main(int argc, char** argv) {
                  max_workers);
     return 1;
   }
-  const double base = sweep.front().result.accesses_per_sec;
-  std::printf("\nscaling vs 1 worker:");
-  for (const SweepPoint& p : sweep) {
-    std::printf("  %ux=%.2f", p.workers,
-                base > 0.0 ? p.result.accesses_per_sec / base : 0.0);
-  }
-  std::printf("\n");
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -131,24 +210,34 @@ int main(int argc, char** argv) {
                "  \"bench\": \"sim_throughput\",\n"
                "  \"quick\": %s,\n"
                "  \"seed\": %llu,\n"
+               "  \"quantum\": %llu,\n"
                "  \"host_hw_concurrency\": %u,\n"
                "  \"determinism_digest\": \"%016llx\",\n"
+               "  \"sliced_digest_m1\": \"%016llx\",\n"
+               "  \"sliced_digest_m3\": \"%016llx\",\n"
+               "  \"sliced_host_thread_invariant\": %s,\n"
                "  \"results\": [\n",
                quick ? "true" : "false",
                static_cast<unsigned long long>(seed),
-               std::thread::hardware_concurrency(),
-               static_cast<unsigned long long>(digest_a));
+               static_cast<unsigned long long>(quantum), hw,
+               static_cast<unsigned long long>(digest_a),
+               static_cast<unsigned long long>(sliced_m1),
+               static_cast<unsigned long long>(sliced_m3),
+               sliced_m1 == sliced_m3 ? "true" : "false");
   for (size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
     const HierarchyCounts& h = p.result.hierarchy;
     std::fprintf(
         out,
-        "    {\"workers\": %u, \"accesses\": %llu, \"host_seconds\": %.6f,"
-        " \"accesses_per_sec\": %.0f, \"sim_cycles\": %llu,"
-        " \"llc_hits\": %llu, \"llc_misses\": %llu,"
+        "    {\"workers\": %u, \"mode\": \"%s\", \"accesses\": %llu,"
+        " \"host_seconds\": %.6f, \"accesses_per_sec\": %.0f,"
+        " \"per_worker_efficiency\": %.4f, \"oversubscribed\": %s,"
+        " \"sim_cycles\": %llu, \"llc_hits\": %llu, \"llc_misses\": %llu,"
         " \"target_media_bytes\": %llu}%s\n",
-        p.workers, static_cast<unsigned long long>(p.result.accesses),
+        p.workers, p.mode,
+        static_cast<unsigned long long>(p.result.accesses),
         p.result.host_seconds, p.result.accesses_per_sec,
+        p.per_worker_efficiency, p.oversubscribed ? "true" : "false",
         static_cast<unsigned long long>(p.result.sim_cycles),
         static_cast<unsigned long long>(h.llc_hits),
         static_cast<unsigned long long>(h.llc_misses),

@@ -75,6 +75,25 @@ class SetAssocCache {
     return GlobalSetOf(line_addr) >> stride_shift_;
   }
 
+  // Host-side prefetch of the set's lookup structures (packed tags and the
+  // way metadata an ensuing Probe/Touch/Insert will dereference). A pure
+  // hardware hint: no simulated or replacement state changes, safe to call
+  // for any line regardless of residency or locking.
+  void PrefetchSet(uint64_t line_addr) const {
+    const uint64_t set = SetIndexOf(line_addr);
+    const uint64_t* tags = &tags_[set * config_.ways];
+    for (uint32_t b = 0; b < config_.ways * sizeof(*tags); b += 64) {
+      __builtin_prefetch(reinterpret_cast<const char*>(tags) + b, 0, 2);
+    }
+    // The way metadata spans too many host lines to pull wholesale; the
+    // set's last-hit way is the one a hit will dereference far more often
+    // than 1/ways (skewed access streams re-hit hot ways), so warm that.
+    const uint8_t hint = way_hint_[set];
+    if (hint != kNoHint) {
+      __builtin_prefetch(&lines_[set * config_.ways + hint], 1, 2);
+    }
+  }
+
   // Probe without updating replacement state. Returns nullptr on miss.
   // (Defined inline below — FindWay dominates every simulated access.)
   CacheLineMeta* Probe(uint64_t line_addr) {

@@ -6,6 +6,7 @@
 #include <cassert>
 
 #include "src/sim/machine.h"
+#include "src/sim/optlock.h"
 
 namespace prestore {
 
@@ -21,6 +22,10 @@ void Core::RefreshFastPathFlags() {
   sink_fast_.store(machine_->trace_sink(), std::memory_order_release);
   has_hooks_.store(!machine_->prestore_hooks().empty(),
                    std::memory_order_release);
+  lock_free_.store(machine_->exclusive_execution(),
+                   std::memory_order_release);
+  fast_forward_.store(machine_->fast_forward_enabled(),
+                      std::memory_order_release);
 }
 
 void Core::PushFunc(FuncToken token) {
@@ -110,6 +115,7 @@ uint64_t Core::WaitAllWc(uint64_t t) {
     t = std::max(t, e.completion);
   }
   wc_.clear();
+  std::memset(wc_filter_, 0, sizeof(wc_filter_));
   return t;
 }
 
@@ -129,20 +135,23 @@ void Core::PushBg(uint64_t completion) {
 
 void Core::PushWc(uint64_t line_addr, uint64_t completion) {
   while (!wc_.empty() && wc_.front().completion <= now_) {
+    --wc_filter_[WcSlot(wc_.front().line_addr)];
     wc_.pop_front();
   }
   wc_.push_back(WcEntry{line_addr, completion});
+  ++wc_filter_[WcSlot(line_addr)];
   while (wc_.size() > config_.wc_buffer_entries) {
     if (wc_.front().completion > now_) {
       stats_.cycles_wc_wait += wc_.front().completion - now_;
       now_ = wc_.front().completion;
     }
+    --wc_filter_[WcSlot(wc_.front().line_addr)];
     wc_.pop_front();
   }
 }
 
 bool Core::WaitPendingWriteback(uint64_t line_addr) {
-  if (wc_.empty()) {
+  if (wc_filter_[WcSlot(line_addr)] == 0) {
     return false;  // nothing in flight: every store/load-miss takes this exit
   }
   bool found = false;
@@ -152,6 +161,7 @@ bool Core::WaitPendingWriteback(uint64_t line_addr) {
         stats_.cycles_wb_pending += it->completion - now_;
         now_ = it->completion;
       }
+      --wc_filter_[WcSlot(line_addr)];
       it = wc_.erase(it);
       found = true;
     } else {
@@ -166,7 +176,7 @@ bool Core::WaitPendingWriteback(uint64_t line_addr) {
 void Core::FillL1(uint64_t line_addr, bool exclusive, bool dirty) {
   SetAssocCache::Victim victim;
   {
-    std::lock_guard<std::mutex> lock(l1_mu_);
+    OptionalLockGuard lock(l1_mu_, LockFree());
     CacheLineMeta* present = l1_.Touch(line_addr);
     if (present != nullptr) {
       present->exclusive = present->exclusive || exclusive;
@@ -187,7 +197,7 @@ void Core::FillL1(uint64_t line_addr, bool exclusive, bool dirty) {
 
 void Core::LineLoad(uint64_t line_addr) {
   {
-    std::lock_guard<std::mutex> lock(l1_mu_);
+    OptionalLockGuard lock(l1_mu_, LockFree());
     if (l1_.Touch(line_addr) != nullptr) {
       ++stats_.l1_hits;
       now_ += config_.l1.hit_latency;
@@ -270,7 +280,7 @@ void Core::LineStore(uint64_t line_addr) {
   }
   WaitPendingWriteback(line_addr);
   {
-    std::lock_guard<std::mutex> lock(l1_mu_);
+    OptionalLockGuard lock(l1_mu_, LockFree());
     CacheLineMeta* meta = l1_.Touch(line_addr);
     if (meta != nullptr && meta->exclusive) {
       meta->dirty = true;
@@ -292,6 +302,224 @@ void Core::LineStore(uint64_t line_addr) {
       SbInsert(line_addr);
     }
   }
+}
+
+// How far ahead of the op cursor the fast-forward loop warms host caches.
+// Far enough to cover a host memory round trip at ~tens of ns/op, near
+// enough that the prefetched lines are not evicted again before use.
+constexpr size_t kPrefetchAhead = 12;
+
+size_t Core::FastForwardOps(const ReplayOp* ops, size_t n,
+                            uint64_t deadline) {
+  // Run-level hazards: any observer (trace sink, pre-store hook) must see
+  // every op at full fidelity, so an observed run never fast-forwards.
+  if (n == 0 || !fast_forward_.load(std::memory_order_relaxed) ||
+      sink_fast_.load(std::memory_order_acquire) != nullptr || HasHooks()) {
+    return 0;
+  }
+  const uint64_t ls = config_.line_size;
+  const uint64_t line_mask = ls - 1;
+  const uint64_t hit_latency = config_.l1.hit_latency;
+  // The L1-miss legs (LLC-hit load, store publication) additionally need:
+  // exclusive execution (they touch shared LLC state without the shard
+  // lock) and an empty store buffer (so the slow path's forwarding / drain
+  // interactions are provably no-ops; always empty under eager TSO). The
+  // buffer cannot grow inside the loop (no leg inserts into it), so one
+  // check up front covers the whole run. The write-combining queue is NOT
+  // required to be empty — completed entries linger until lazily popped —
+  // but an entry MATCHING the op's line means the slow path would join the
+  // in-flight writeback (WaitPendingWriteback erases it and may advance
+  // the clock), so each leg scans for a match and bails on one; a
+  // non-matching scan mutates nothing on either path.
+  const bool miss_legs = LockFree() && sb_.empty();
+  const bool tso = config_.drain == StoreDrainPolicy::kEagerTso;
+  // Accumulate in locals and charge once at exit: the loop body is a probe,
+  // a compare, and register bumps — no member traffic per op.
+  uint64_t now = now_;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t l1_hits_n = 0;
+  uint64_t l1_misses_n = 0;
+  uint64_t cycles_load_miss = 0;
+  uint64_t publishes = 0;
+  uint64_t publish_latency_sum = 0;
+  size_t i = 0;
+  {
+    // One lock acquisition covers the whole run (elided entirely in
+    // exclusive execution). Callers bound `n`, so in concurrent runs the
+    // hold time stays short (see kFastForwardChunk in replay.h).
+    OptionalLockGuard lock(l1_mu_, LockFree());
+    for (; i < n; ++i) {
+      if (now >= deadline) {
+        break;  // quantum exhausted: the op belongs to a later slice
+      }
+      const ReplayOp& op = ops[i];
+      // The trace is pre-generated, so the lines future ops touch are
+      // known: warm the host caches for the op kPrefetchAhead slots out
+      // while this one executes. Once the simulated working set outgrows
+      // the host LLC, the engine is bound by dependent host misses on the
+      // shard tag/meta arrays and the backing data — overlapping them
+      // across ops is worth more than any instruction-level tuning here.
+      if (i + kPrefetchAhead < n) {
+        const ReplayOp& ahead = ops[i + kPrefetchAhead];
+        if (ahead.kind != ReplayOpKind::kClean) {
+          machine_->PrefetchForAccess(ahead.addr);
+        }
+      }
+      if (op.kind == ReplayOpKind::kClean ||
+          (op.addr & line_mask) + 8 > ls) {
+        break;  // cleans and line-straddling ops take the slow path
+      }
+      if (op.kind == ReplayOpKind::kStore) {
+        // The slow path consults the write-combining queue BEFORE the L1
+        // probe (an in-flight writeback of this line must be joined), so a
+        // matching entry disqualifies the op before any replacement-state
+        // update. Probe (no replacement update) first, Touch only once the
+        // op is known eligible — a bail-out must leave LRU/PLRU stamps
+        // exactly as the slow path's first touch will set them.
+        if (wc_filter_[WcSlot(op.addr)] != 0) {
+          bool pending = false;
+          for (const WcEntry& e : wc_) {
+            if (e.line_addr == op.addr) {
+              pending = true;
+              break;
+            }
+          }
+          if (pending) {
+            break;
+          }
+        }
+        CacheLineMeta* meta = l1_.Probe(op.addr);
+        if (meta != nullptr && meta->exclusive) {
+          l1_.Touch(op.addr);
+          meta->dirty = true;
+          now += kStoreIssueCost;
+          ++stores;
+          // Functional store, same value pattern the replay driver writes.
+          const uint64_t v = ReplayStoreValue(op.addr);
+          std::memcpy(machine_->HostPtr(op.addr), &v, 8);
+          continue;
+        }
+        // Store-publication leg: L1 miss or shared hit, TSO. The slow path
+        // is LineStore -> PublishLine -> LlcAccess(kWrite) -> FillL1; when
+        // the LLC hit is trivial (TryFastLlcHit) that chain reduces to the
+        // exact sequence below. The LLC commit runs before the L1 touches
+        // here (they mutate disjoint structures, so the final state is
+        // identical) because a failed TryFastLlcHit must bail before ANY
+        // mutation. Replacement exactness: the slow path touches the L1
+        // line three times (LineStore's probe, PublishLine's probe, FillL1)
+        // — so does this leg.
+        uint64_t t;
+        if (!miss_legs || !tso ||
+            !machine_->TryFastLlcHit(id_, op.addr,
+                                     Machine::AccessMode::kWrite,
+                                     now + kStoreIssueCost, &t)) {
+          break;
+        }
+        l1_.Touch(op.addr);  // LineStore's probe (hit updates replacement)
+        now += kStoreIssueCost;
+        l1_.Touch(op.addr);  // PublishLine's probe
+        // PublishLine's FillL1(line, exclusive=true, dirty=true).
+        CacheLineMeta* fill = l1_.Touch(op.addr);
+        if (fill != nullptr) {
+          fill->exclusive = true;
+          fill->dirty = true;
+        } else {
+          SetAssocCache::Victim victim =
+              l1_.Insert(op.addr, /*dirty=*/true, &fill);
+          fill->exclusive = true;
+          if (victim.valid) {
+            machine_->L1VictimWriteback(id_, victim.line_addr, victim.dirty,
+                                        now);
+          }
+        }
+        publish_latency_sum += t - now;
+        ++publishes;
+        now_ = now;  // PushBg reads and may advance the member clock
+        PushBg(t);
+        now = now_;
+        ++stores;
+        const uint64_t v = ReplayStoreValue(op.addr);
+        std::memcpy(machine_->HostPtr(op.addr), &v, 8);
+      } else {
+        if (l1_.Touch(op.addr) != nullptr) {
+          now += hit_latency;
+          ++loads;
+          ++l1_hits_n;
+          continue;
+        }
+        // LLC-hit load leg: the slow path is LineLoad -> LlcAccess(kRead)
+        // -> FillL1; with no in-flight writeback of this line, no recent NT
+        // write, and a trivial LLC hit it reduces to the sequence below. A
+        // failed L1 Touch mutates nothing, so bailing here still leaves
+        // the slow path a bit-identical starting state.
+        if (!miss_legs || RecentlyNtWritten(op.addr)) {
+          break;
+        }
+        if (wc_filter_[WcSlot(op.addr)] != 0) {
+          bool pending = false;
+          for (const WcEntry& e : wc_) {
+            if (e.line_addr == op.addr) {
+              pending = true;
+              break;
+            }
+          }
+          if (pending) {
+            break;  // the slow path joins the in-flight writeback
+          }
+        }
+        uint64_t t;
+        if (!machine_->TryFastLlcHit(id_, op.addr,
+                                     Machine::AccessMode::kRead, now, &t)) {
+          break;
+        }
+        ++l1_misses_n;
+        // LineLoad's stream-detector update, verbatim (the `streamed`
+        // discount itself only applies on the device path, but the table
+        // mutation feeds future misses and must happen identically; the
+        // stream table and the LLC are disjoint, so updating it after the
+        // commit above leaves the same final state as the slow path's
+        // update-before-access order).
+        bool streamed = false;
+        for (size_t s = 0; s < kMissStreams; ++s) {
+          if (miss_streams_[s] + ls == op.addr) {
+            miss_streams_[s] = op.addr;
+            streamed = true;
+            break;
+          }
+        }
+        if (!streamed) {
+          miss_streams_[next_stream_] = op.addr;
+          next_stream_ = (next_stream_ + 1) % kMissStreams;
+        }
+        cycles_load_miss += t - now;
+        now = t;
+        // FillL1(line, exclusive=false, dirty=false): the line is absent
+        // (the probe above just missed and nothing ran since), so the
+        // slow path's present-check Touch would be a mutation-free miss —
+        // skip straight to the insert.
+        CacheLineMeta* fill = nullptr;
+        SetAssocCache::Victim victim =
+            l1_.Insert(op.addr, /*dirty=*/false, &fill);
+        fill->exclusive = false;
+        if (victim.valid) {
+          machine_->L1VictimWriteback(id_, victim.line_addr, victim.dirty,
+                                      now);
+        }
+        ++loads;
+      }
+    }
+  }
+  now_ = now;
+  icount_ += i;  // one instruction per line-granular 8-byte op
+  stats_.loads += loads;
+  stats_.l1_hits += l1_hits_n;
+  stats_.l1_misses += l1_misses_n;
+  stats_.cycles_load_miss += cycles_load_miss;
+  stats_.stores += stores;
+  stats_.publishes += publishes;
+  stats_.publish_latency_sum += publish_latency_sum;
+  return i;
 }
 
 void Core::TimedAccess(SimAddr addr, size_t size, bool is_store) {
@@ -508,7 +736,7 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
         } else {
           bool in_l1 = false;
           {
-            std::lock_guard<std::mutex> lock(l1_mu_);
+            OptionalLockGuard lock(l1_mu_, LockFree());
             in_l1 = l1_.Probe(line) != nullptr;
           }
           if (in_l1) {

@@ -20,6 +20,7 @@
 #include "src/core/prestore.h"
 #include "src/sim/cache.h"
 #include "src/sim/config.h"
+#include "src/sim/replay_ops.h"
 #include "src/trace/trace.h"
 
 namespace prestore {
@@ -135,6 +136,44 @@ class Core {
   uint64_t AtomicLoadU64(SimAddr addr);   // acquire: no store drain
   void AtomicStoreU64(SimAddr addr, uint64_t value);  // release: drains stores
 
+  // ---- Analytical fast-forward (DESIGN.md §12) ----
+
+  // Executes a maximal eligible prefix of `ops` on this core without walking
+  // the full per-op timing path, and returns how many ops were consumed
+  // (possibly 0; never more than n). An op is eligible when it can be
+  // charged analytically — its cycle cost and stat deltas follow from a
+  // handful of probes with no protocol branches left open:
+  //   - a load whose line is L1-resident (cost: one L1 hit latency);
+  //   - a store whose line is L1-resident in exclusive state with no
+  //     in-flight write-combining entry for the line (cost: one issue
+  //     cycle);
+  // and, in exclusive execution only (Machine::SetExclusiveExecution) with
+  // empty write-combining and store-buffer queues:
+  //   - a load whose line is a trivial LLC hit (no foreign owner —
+  //     Machine::TryFastLlcHit), charged hit latency + fill + L1 victim
+  //     writeback;
+  //   - an eager-TSO store publication whose line is a trivial LLC write
+  //     hit (no foreign owner or sharers, non-far device), charged the
+  //     publication sequence.
+  // The run bails out to the slow path (returns early) on any other
+  // hazard: an installed trace sink or pre-store hook, a clean op, an LLC
+  // miss, coherence interaction with another core, a recently-NT-written
+  // line, a pending writeback, or a line-straddling access. Every bail-out
+  // happens before any state mutation for that op, so the slow path replays
+  // it from a bit-identical machine. Consumed ops charge their cycles,
+  // instruction counts, and stat deltas in one step at exit; the arithmetic
+  // is bit-identical to the slow path (the recorded digests in
+  // sim_determinism_test pin this).
+  //
+  // `deadline` stops the run before any op whose START time would be >=
+  // deadline — the same "begin an op only while now < deadline" rule the
+  // sliced scheduler's slow path applies per op. Because every consumed op
+  // charges exactly the slow-path cycles, a sliced replay covers the same
+  // (round, core, op) schedule whether fast-forward is on or off, so the
+  // two produce bit-identical end states (sim_stats_equiv_test pins this).
+  size_t FastForwardOps(const ReplayOp* ops, size_t n,
+                        uint64_t deadline = ~uint64_t{0});
+
   // ---- Pre-stores (the paper's contribution, §2) ----
 
   // Non-blocking hint covering [addr, addr+size). kDemote moves the data out
@@ -233,6 +272,16 @@ class Core {
   std::atomic<TraceSink*> sink_fast_{nullptr};
   std::atomic<bool> has_hooks_{false};
   bool HasHooks() const { return has_hooks_.load(std::memory_order_relaxed); }
+  // Exclusive-execution mirror (Machine::SetExclusiveExecution): when set,
+  // exactly one host thread drives the whole machine at a time, so the
+  // engine's serialization mutexes are elided (optlock.h). Atomic for the
+  // same reason as the fields above; per-op cost is one relaxed load.
+  std::atomic<bool> lock_free_{false};
+  bool LockFree() const { return lock_free_.load(std::memory_order_relaxed); }
+  // Analytical fast-forward enable (Machine::SetAnalyticalFastForward);
+  // off = every op walks the full timing path (the stats-equivalence tests
+  // compare the two).
+  std::atomic<bool> fast_forward_{true};
 
   uint64_t now_ = 0;
   uint64_t icount_ = 0;
@@ -246,6 +295,18 @@ class Core {
   std::deque<uint64_t> bg_;  // completion times of async publications
   std::deque<WcEntry> wc_;   // in-flight clean / NT writebacks
   std::deque<uint64_t> ewb_; // eviction-writeback acceptance times
+
+  // Exact counting filter over wc_'s line addresses: wc_filter_[WcSlot(a)]
+  // is the number of wc_ entries whose line hashes to that slot, updated at
+  // every wc_ push/erase/clear. A zero slot proves the line has NO entry
+  // (no false negatives), letting the per-access pending-writeback check —
+  // the common all-clear case on both the timed path and the fast-forward
+  // legs — skip the deque scan. A nonzero slot falls back to the precise
+  // scan. Host-side accelerator only: simulated results are unchanged.
+  static uint32_t WcSlot(uint64_t line_addr) {
+    return static_cast<uint32_t>((line_addr * 0x9e3779b97f4a7c15ULL) >> 56);
+  }
+  uint16_t wc_filter_[256] = {};
 
   // Streaming detection (hardware-prefetch stand-in): a load miss adjacent
   // to any tracked stream gets the latency discount. Real prefetchers track

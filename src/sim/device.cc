@@ -6,7 +6,7 @@ uint64_t DramDevice::Read(uint64_t addr, uint32_t bytes, uint64_t now) {
   (void)addr;
   const uint64_t start = ReserveBandwidth(bytes, now, config_.cycles_per_byte);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    OptionalLockGuard lock(stats_mu_, LockFree());
     ++stats_.reads;
     stats_.bytes_read += bytes;
   }
@@ -19,7 +19,7 @@ uint64_t DramDevice::Write(uint64_t addr, uint32_t bytes, uint64_t now) {
   (void)addr;
   const uint64_t start = ReserveBandwidth(bytes, now, config_.cycles_per_byte);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    OptionalLockGuard lock(stats_mu_, LockFree());
     ++stats_.writes;
     stats_.bytes_received += bytes;
     stats_.media_bytes_written += bytes;
@@ -48,7 +48,7 @@ uint64_t PmemDevice::TouchBlock(uint64_t addr, bool dirty, uint64_t now,
     capacity = stolen >= capacity ? 1 : capacity - stolen;
   }
   {
-    std::lock_guard<std::mutex> lock(dimm.mu);
+    OptionalLockGuard lock(dimm.mu, LockFree());
     std::vector<BufferedBlock>& slots = dimm.slots;
     const size_t n = slots.size();
     for (size_t i = 0; i < n; ++i) {
@@ -105,7 +105,7 @@ uint64_t PmemDevice::Read(uint64_t addr, uint32_t bytes, uint64_t now) {
   const uint64_t start =
       ReserveBandwidth(bytes, now + delay, config_.cycles_per_byte);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    OptionalLockGuard lock(stats_mu_, LockFree());
     ++stats_.reads;
     stats_.bytes_read += bytes;
     stats_.media_bytes_written += flushed;
@@ -121,7 +121,7 @@ uint64_t PmemDevice::Write(uint64_t addr, uint32_t bytes, uint64_t now) {
   const uint64_t start =
       ReserveBandwidth(bytes, now + delay, config_.cycles_per_byte);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    OptionalLockGuard lock(stats_mu_, LockFree());
     ++stats_.writes;
     stats_.bytes_received += bytes;
     stats_.media_bytes_written += flushed;
@@ -148,7 +148,7 @@ uint64_t FarMemoryDevice::Read(uint64_t addr, uint32_t bytes, uint64_t now) {
   (void)addr;
   const uint64_t start = ReserveBandwidth(bytes, now, config_.cycles_per_byte);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    OptionalLockGuard lock(stats_mu_, LockFree());
     ++stats_.reads;
     stats_.bytes_read += bytes;
   }
@@ -161,7 +161,7 @@ uint64_t FarMemoryDevice::Write(uint64_t addr, uint32_t bytes, uint64_t now) {
   (void)addr;
   const uint64_t start = ReserveBandwidth(bytes, now, config_.cycles_per_byte);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    OptionalLockGuard lock(stats_mu_, LockFree());
     ++stats_.writes;
     stats_.bytes_received += bytes;
     stats_.media_bytes_written += bytes;
@@ -176,7 +176,7 @@ uint64_t FarMemoryDevice::DirectoryAccess(uint64_t now) {
   // a device round trip plus a small transfer.
   const uint64_t start = ReserveBandwidth(8, now, config_.cycles_per_byte);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    OptionalLockGuard lock(stats_mu_, LockFree());
     ++stats_.directory_accesses;
   }
   uint64_t extra = 0;

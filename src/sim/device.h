@@ -18,6 +18,7 @@
 #include "src/sim/config.h"
 #include "src/sim/hooks.h"
 #include "src/sim/invariant.h"
+#include "src/sim/optlock.h"
 
 namespace prestore {
 
@@ -168,10 +169,17 @@ class Device {
     fault_hook_.store(hook, std::memory_order_release);
   }
 
+  // Exclusive-execution mirror (Machine::SetExclusiveExecution): while set,
+  // the device's internal serialization mutexes are elided (optlock.h) —
+  // the caller guarantees single-threaded access. Stats snapshots keep
+  // their lock (they are off the hot path and may run from monitors).
+  void SetLockFree(bool on) { lock_free_.store(on, std::memory_order_release); }
+
  protected:
   DeviceFaultHook* fault_hook() const {
     return fault_hook_.load(std::memory_order_acquire);
   }
+  bool LockFree() const { return lock_free_.load(std::memory_order_relaxed); }
 
   // Cycles of work `bytes` reserves on a meter, with any active
   // bandwidth-throttle fault applied.
@@ -199,6 +207,7 @@ class Device {
 
   BandwidthMeter interface_;
   std::atomic<DeviceFaultHook*> fault_hook_{nullptr};
+  std::atomic<bool> lock_free_{false};
 };
 
 // Conventional DRAM: fixed latency + interface bandwidth; writes to the media

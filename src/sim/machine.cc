@@ -149,7 +149,7 @@ bool Machine::HandleLlcVictimLocked(uint8_t self,
     const int s = __builtin_ctzll(sharers);
     sharers &= sharers - 1;
     Core& c = *cores_[s];
-    std::lock_guard<std::mutex> l1_lock(c.l1_mu());
+    OptionalLockGuard l1_lock(c.l1_mu(), exclusive_execution());
     CacheLineMeta was;
     if (c.l1().Remove(victim.line_addr, &was)) {
       Bump(self, &MachineStatStripe::back_invalidations);
@@ -175,30 +175,6 @@ uint64_t Machine::FinishEvictionWriteback(uint8_t self, uint64_t line_addr,
   return proceed;
 }
 
-namespace {
-
-// Directory update for the access mode; the final step of every LLC access
-// once the coherence protocol has run.
-void ApplyAccessMode(CacheLineMeta* meta, uint8_t self, Machine::AccessMode mode,
-                     bool incoming_dirty) {
-  switch (mode) {
-    case Machine::AccessMode::kRead:
-      meta->sharers |= 1ULL << self;
-      break;
-    case Machine::AccessMode::kWrite:
-      meta->sharers = 1ULL << self;
-      meta->owner = self;
-      break;
-    case Machine::AccessMode::kDemote:
-      meta->sharers &= ~(1ULL << self);
-      meta->owner = kNoOwner;
-      meta->dirty = meta->dirty || incoming_dirty;
-      break;
-  }
-}
-
-}  // namespace
-
 uint64_t Machine::LlcHitLocked(uint8_t self, uint64_t line_addr,
                                AccessMode mode, bool incoming_dirty,
                                Device& dev, bool far, CacheLineMeta* meta,
@@ -211,7 +187,7 @@ uint64_t Machine::LlcHitLocked(uint8_t self, uint64_t line_addr,
     Bump(self, &MachineStatStripe::interventions);
     t += config_.snoop_latency;
     Core& owner = *cores_[prev_owner];
-    std::lock_guard<std::mutex> l1_lock(owner.l1_mu());
+    OptionalLockGuard l1_lock(owner.l1_mu(), exclusive_execution());
     CacheLineMeta* ol = owner.l1().Probe(line_addr);
     if (mode == AccessMode::kRead) {
       if (ol != nullptr) {
@@ -235,7 +211,7 @@ uint64_t Machine::LlcHitLocked(uint8_t self, uint64_t line_addr,
         const int s = __builtin_ctzll(others);
         others &= others - 1;
         Core& c = *cores_[s];
-        std::lock_guard<std::mutex> l1_lock(c.l1_mu());
+        OptionalLockGuard l1_lock(c.l1_mu(), exclusive_execution());
         c.l1().Remove(line_addr);
         meta->sharers &= ~(1ULL << s);
       }
@@ -245,7 +221,7 @@ uint64_t Machine::LlcHitLocked(uint8_t self, uint64_t line_addr,
       t = dev.DirectoryAccess(t);
     }
   }
-  ApplyAccessMode(meta, self, mode, incoming_dirty);
+  ApplyAccessModeLocked(meta, self, mode, incoming_dirty);
   return t;
 }
 
@@ -258,7 +234,7 @@ uint64_t Machine::LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
 
   LlcShard& shard = ShardFor(line_addr);
   {
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    OptionalLockGuard shard_lock(shard.mu, exclusive_execution());
     CacheLineMeta* meta = shard.cache->Touch(line_addr);
     if (meta != nullptr) {
       return LlcHitLocked(self, line_addr, mode, incoming_dirty, dev, far,
@@ -282,7 +258,7 @@ uint64_t Machine::LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
   bool wb_owed = false;
   uint64_t victim_line = 0;
   {
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    OptionalLockGuard shard_lock(shard.mu, exclusive_execution());
     SetAssocCache& llc = *shard.cache;
     // Re-probe: while the shard was unlocked another core may have filled
     // the line (concurrent runs only — a failed Touch mutates nothing, so a
@@ -306,7 +282,7 @@ uint64_t Machine::LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
       wb_owed = true;
       victim_line = victim.line_addr;
     }
-    ApplyAccessMode(meta, self, mode, incoming_dirty);
+    ApplyAccessModeLocked(meta, self, mode, incoming_dirty);
   }
   if (wb_owed) {
     t = std::max(t, FinishEvictionWriteback(self, victim_line, start));
@@ -318,7 +294,7 @@ uint64_t Machine::PublishLine(uint8_t self, uint64_t line_addr,
                               uint64_t start) {
   Core& core = *cores_[self];
   {
-    std::lock_guard<std::mutex> l1_lock(core.l1_mu());
+    OptionalLockGuard l1_lock(core.l1_mu(), exclusive_execution());
     CacheLineMeta* meta = core.l1().Touch(line_addr);
     if (meta != nullptr && meta->exclusive) {
       meta->dirty = true;
@@ -335,7 +311,7 @@ uint64_t Machine::PublishLineDemote(uint8_t self, uint64_t line_addr,
   Core& core = *cores_[self];
   bool dirty = true;  // demoted data from the store buffer is modified
   {
-    std::lock_guard<std::mutex> l1_lock(core.l1_mu());
+    OptionalLockGuard l1_lock(core.l1_mu(), exclusive_execution());
     CacheLineMeta was;
     if (core.l1().Remove(line_addr, &was)) {
       dirty = was.dirty;
@@ -349,7 +325,7 @@ uint64_t Machine::CleanLine(uint8_t self, uint64_t line_addr, uint64_t start) {
   Core& core = *cores_[self];
   bool dirty = false;
   {
-    std::lock_guard<std::mutex> l1_lock(core.l1_mu());
+    OptionalLockGuard l1_lock(core.l1_mu(), exclusive_execution());
     CacheLineMeta* meta = core.l1().Probe(line_addr);
     if (meta != nullptr && meta->dirty) {
       meta->dirty = false;
@@ -358,12 +334,12 @@ uint64_t Machine::CleanLine(uint8_t self, uint64_t line_addr, uint64_t start) {
   }
   {
     LlcShard& shard = ShardFor(line_addr);
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    OptionalLockGuard shard_lock(shard.mu, exclusive_execution());
     CacheLineMeta* meta = shard.cache->Probe(line_addr);
     if (meta != nullptr) {
       if (meta->owner != kNoOwner && meta->owner != self) {
         Core& owner = *cores_[meta->owner];
-        std::lock_guard<std::mutex> l1_lock(owner.l1_mu());
+        OptionalLockGuard l1_lock(owner.l1_mu(), exclusive_execution());
         CacheLineMeta* ol = owner.l1().Probe(line_addr);
         if (ol != nullptr && ol->dirty) {
           ol->dirty = false;
@@ -385,7 +361,7 @@ uint64_t Machine::CleanLine(uint8_t self, uint64_t line_addr, uint64_t start) {
 void Machine::InvalidateLine(uint8_t self, uint64_t line_addr) {
   {
     LlcShard& shard = ShardFor(line_addr);
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    OptionalLockGuard shard_lock(shard.mu, exclusive_execution());
     CacheLineMeta* meta = shard.cache->Probe(line_addr);
     if (meta != nullptr) {
       uint64_t sharers = meta->sharers;
@@ -393,14 +369,14 @@ void Machine::InvalidateLine(uint8_t self, uint64_t line_addr) {
         const int s = __builtin_ctzll(sharers);
         sharers &= sharers - 1;
         Core& c = *cores_[s];
-        std::lock_guard<std::mutex> l1_lock(c.l1_mu());
+        OptionalLockGuard l1_lock(c.l1_mu(), exclusive_execution());
         c.l1().Remove(line_addr);
       }
       shard.cache->Remove(line_addr);
     }
   }
   Core& core = *cores_[self];
-  std::lock_guard<std::mutex> l1_lock(core.l1_mu());
+  OptionalLockGuard l1_lock(core.l1_mu(), exclusive_execution());
   core.l1().Remove(line_addr);
 }
 
@@ -408,7 +384,7 @@ void Machine::L1VictimWriteback(uint8_t self, uint64_t line_addr, bool dirty,
                                 uint64_t now) {
   {
     LlcShard& shard = ShardFor(line_addr);
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    OptionalLockGuard shard_lock(shard.mu, exclusive_execution());
     CacheLineMeta* meta = shard.cache->Probe(line_addr);
     if (meta != nullptr) {
       meta->sharers &= ~(1ULL << self);
@@ -446,7 +422,7 @@ void Machine::FlushAll() {
   }
   const uint64_t now = GlobalTime();
   for (auto& c : cores_) {
-    std::lock_guard<std::mutex> l1_lock(c->l1_mu());
+    OptionalLockGuard l1_lock(c->l1_mu(), exclusive_execution());
     for (uint64_t line : c->l1().ValidLines()) {
       CacheLineMeta* meta = c->l1().Probe(line);
       if (meta->dirty) {
@@ -461,7 +437,7 @@ void Machine::FlushAll() {
   // depend on it.
   for (uint64_t g = 0; g < llc_global_sets_; ++g) {
     LlcShard& shard = llc_shards_[g & (kNumShards - 1)];
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    OptionalLockGuard shard_lock(shard.mu, exclusive_execution());
     const uint64_t local = g / kNumShards;
     if (local >= shard.cache->num_sets()) {
       continue;

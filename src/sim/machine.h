@@ -14,6 +14,7 @@
 #include "src/sim/core.h"
 #include "src/sim/device.h"
 #include "src/sim/hooks.h"
+#include "src/sim/optlock.h"
 #include "src/trace/trace.h"
 
 namespace prestore {
@@ -138,6 +139,37 @@ class Machine {
     return prestore_hooks_;
   }
 
+  // ---- Execution modes (DESIGN.md §12) ----
+
+  // Exclusive execution: the caller guarantees that AT MOST ONE host thread
+  // drives the machine (cores, coherence, devices) at any instant — either
+  // truly single-threaded (sequential replay, 1-worker runs) or serialized
+  // with proper handoff synchronization (the time-sliced scheduler). While
+  // set, every engine serialization mutex is elided (optlock.h); simulated
+  // results are unchanged (the mutexes never affected them). Toggle only
+  // while no cores are running.
+  void SetExclusiveExecution(bool on) {
+    exclusive_.store(on, std::memory_order_release);
+    dram_->SetLockFree(on);
+    target_->SetLockFree(on);
+    RefreshCoreFastPaths();
+  }
+  bool exclusive_execution() const {
+    return exclusive_.load(std::memory_order_relaxed);
+  }
+
+  // Analytical fast-forward (Core::FastForwardOps) enable; default on.
+  // Turning it off forces every replay op down the full timing path — the
+  // fast-forward equivalence tests compare the two. Toggle only while no
+  // cores are running.
+  void SetAnalyticalFastForward(bool on) {
+    fast_forward_.store(on, std::memory_order_release);
+    RefreshCoreFastPaths();
+  }
+  bool fast_forward_enabled() const {
+    return fast_forward_.load(std::memory_order_relaxed);
+  }
+
   // ---- Measurement helpers ----
 
   // Aligns every core's local clock to the global maximum (start of a
@@ -196,6 +228,61 @@ class Machine {
   void L1VictimWriteback(uint8_t self, uint64_t line_addr, bool dirty,
                          uint64_t now);
 
+  // ---- Exclusive-mode analytical fast path (Core::FastForwardOps) ----
+  //
+  // Tries to charge an LLC hit analytically. Eligible iff the line is
+  // LLC-resident with no FOREIGN Modified owner and, for kWrite, no
+  // foreign sharers and a non-far backing device — exactly the cases where
+  // LlcAccess's hit path reduces to {replacement touch, llc_hits bump, hit
+  // latency, directory update} with no snoop, intervention, or device
+  // work. On success commits that reduced hit path bit-exactly and writes
+  // the completion time (start + LLC hit latency) to `completion`. On
+  // failure mutates nothing but the set's way hint, so the slow path
+  // replays the access from a bit-identical machine. Exclusive execution
+  // only (touches shard state without its lock); inline because it runs
+  // for nearly every L1 miss of a fast-forwarded replay.
+  bool TryFastLlcHit(uint8_t self, uint64_t line_addr, AccessMode mode,
+                     uint64_t start, uint64_t* completion) {
+    SetAssocCache& llc = *ShardFor(line_addr).cache;
+    CacheLineMeta* meta = llc.Probe(line_addr);
+    if (meta == nullptr) {
+      return false;  // miss: device read + insert + possible eviction
+    }
+    if (meta->owner != kNoOwner && meta->owner != self) {
+      return false;  // foreign Modified owner: intervention protocol
+    }
+    if (mode == AccessMode::kWrite) {
+      if ((meta->sharers & ~(1ULL << self)) != 0) {
+        return false;  // foreign sharers: snoop + back-invalidation
+      }
+      if (meta->owner != self &&
+          DeviceFor(line_addr).config().kind == DeviceKind::kFarMemory) {
+        return false;  // line-state upgrade needs the on-device directory
+      }
+    }
+    // Same replacement touch LlcAccess's first probe performs (the probe
+    // above left the way hint at the line, so the tag scan is one
+    // compare), then the hit path's accounting and directory update, minus
+    // the branches just proven dead.
+    llc.Touch(line_addr);
+    Bump(self, &MachineStatStripe::llc_hits);
+    ApplyAccessModeLocked(meta, self, mode, /*incoming_dirty=*/false);
+    *completion = start + config_.llc.hit_latency;
+    return true;
+  }
+
+  // Host-side prefetch of the simulator structures a near-future replay op
+  // will touch: the line's LLC tag/meta set arrays and its backing host
+  // data. Pure hardware hint — mutates no simulated state, so issuing it
+  // for any address (even one the op stream later skips) cannot change a
+  // result. The replay fast path calls this a fixed distance ahead of the
+  // op cursor because the engine is host-cache-miss-bound on exactly these
+  // arrays once the simulated working set outgrows the host LLC.
+  void PrefetchForAccess(uint64_t line_addr) {
+    ShardFor(line_addr).cache->PrefetchSet(line_addr);
+    __builtin_prefetch(HostPtr(line_addr), 1, 1);
+  }
+
   uint64_t LineBaseOf(SimAddr addr) const {
     return LineBase(addr, config_.line_size);
   }
@@ -206,7 +293,7 @@ class Machine {
   // would have coalesced); a long-evicted line owed its writeback anyway.
   bool LlcResident(uint64_t line_addr) {
     LlcShard& shard = ShardFor(line_addr);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    OptionalLockGuard lock(shard.mu, exclusive_execution());
     return shard.cache->Probe(line_addr) != nullptr;
   }
 
@@ -281,6 +368,26 @@ class Machine {
     return llc_shards_[LlcShardIndexOf(line_addr)];
   }
 
+  // Directory update for the access mode; the final step of every LLC
+  // access once the coherence protocol has run.
+  static void ApplyAccessModeLocked(CacheLineMeta* meta, uint8_t self,
+                                    AccessMode mode, bool incoming_dirty) {
+    switch (mode) {
+      case AccessMode::kRead:
+        meta->sharers |= 1ULL << self;
+        break;
+      case AccessMode::kWrite:
+        meta->sharers = 1ULL << self;
+        meta->owner = self;
+        break;
+      case AccessMode::kDemote:
+        meta->sharers &= ~(1ULL << self);
+        meta->owner = kNoOwner;
+        meta->dirty = meta->dirty || incoming_dirty;
+        break;
+    }
+  }
+
   // Hit-path coherence protocol, run under the line's shard lock: hit
   // accounting, intervention on a Modified owner, snoop of other sharers on
   // non-read access, the far-memory directory upgrade, and the mode's
@@ -344,6 +451,26 @@ class Machine {
   FunctionRegistry registry_;
   std::atomic<TraceSink*> sink_{nullptr};
   std::vector<PrestoreHook*> prestore_hooks_;
+  std::atomic<bool> exclusive_{false};
+  std::atomic<bool> fast_forward_{true};
+};
+
+// RAII scope for Machine::SetExclusiveExecution: sets the mode on entry and
+// restores the previous mode on exit (exception-safe, nestable).
+class ExclusiveExecutionScope {
+ public:
+  explicit ExclusiveExecutionScope(Machine& machine)
+      : machine_(machine), prev_(machine.exclusive_execution()) {
+    machine_.SetExclusiveExecution(true);
+  }
+  ~ExclusiveExecutionScope() { machine_.SetExclusiveExecution(prev_); }
+
+  ExclusiveExecutionScope(const ExclusiveExecutionScope&) = delete;
+  ExclusiveExecutionScope& operator=(const ExclusiveExecutionScope&) = delete;
+
+ private:
+  Machine& machine_;
+  bool prev_;
 };
 
 }  // namespace prestore

@@ -1,0 +1,44 @@
+// Conditionally elided lock guard for the simulator's exclusive-execution
+// mode (DESIGN.md §12).
+//
+// Every mutex in the engine's hot paths (per-core L1 mutexes, LLC shard
+// mutexes, PMEM module buffers) exists ONLY to serialize concurrent host
+// threads; none of them affects a simulated result. When the machine is in
+// exclusive execution — one host thread drives all cores, either truly
+// single-threaded (sequential replay, 1-worker runs) or serialized by the
+// time-sliced scheduler's slice handoff — those mutexes are pure host-side
+// overhead, so the guard skips them. The mode flag is owned by Machine
+// (SetExclusiveExecution); callers pass the cached core-/device-local copy.
+#ifndef SRC_SIM_OPTLOCK_H_
+#define SRC_SIM_OPTLOCK_H_
+
+#include <mutex>
+
+namespace prestore {
+
+class OptionalLockGuard {
+ public:
+  // Locks `mu` unless `elide` is true. The elided case must only be used
+  // when no other host thread can touch the guarded state concurrently
+  // (the exclusive-execution contract, enforced by the callers).
+  OptionalLockGuard(std::mutex& mu, bool elide) : mu_(elide ? nullptr : &mu) {
+    if (mu_ != nullptr) {
+      mu_->lock();
+    }
+  }
+  ~OptionalLockGuard() {
+    if (mu_ != nullptr) {
+      mu_->unlock();
+    }
+  }
+
+  OptionalLockGuard(const OptionalLockGuard&) = delete;
+  OptionalLockGuard& operator=(const OptionalLockGuard&) = delete;
+
+ private:
+  std::mutex* mu_;
+};
+
+}  // namespace prestore
+
+#endif  // SRC_SIM_OPTLOCK_H_

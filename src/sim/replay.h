@@ -3,38 +3,38 @@
 //
 // The trace is generated once, host-side, outside the measured window, so a
 // replay exercises pure engine work: store-buffer bookkeeping, L1 probes,
-// LLC accesses, device timing. Two replay modes:
-//  - concurrent: worker i's trace runs on core i from its own host thread
-//    (RunParallel) — the sim-throughput benchmark's measured configuration;
+// LLC accesses, device timing. Three replay modes:
+//  - concurrent (free-running): worker i's trace runs on core i from its
+//    own host thread (RunParallel) — fastest when host cores are plentiful,
+//    nondeterministic interleaving, oversubscription cliff past
+//    hw_concurrency;
+//  - sliced: worker i's trace runs on core i under the deterministic
+//    time-sliced scheduler (scheduler.h) — bit-deterministic for any host
+//    thread count, immune to oversubscription;
 //  - sequential: the traces run to completion one core at a time on the
 //    calling host thread — bit-deterministic for a fixed seed, the basis of
 //    the determinism digests in tests/sim_determinism_test.cc and the
 //    benchmark's self-check.
+// Straight-line runs of guaranteed-L1-hit ops are batch-charged via
+// Core::FastForwardOps in every mode (disable with
+// Machine::SetAnalyticalFastForward(false)).
 #ifndef SRC_SIM_REPLAY_H_
 #define SRC_SIM_REPLAY_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/sim/harness.h"
 #include "src/sim/machine.h"
+#include "src/sim/replay_ops.h"
+#include "src/sim/scheduler.h"
 #include "src/util/rng.h"
 #include "src/util/zipf.h"
 
 namespace prestore {
-
-enum class ReplayOpKind : uint8_t {
-  kLoad,   // one line-granular load
-  kStore,  // one line-granular store
-  kClean,  // clean pre-store sweep over [addr, addr + size)
-};
-
-struct ReplayOp {
-  uint64_t addr = 0;
-  uint32_t size = 0;  // kClean only: bytes covered by the sweep
-  ReplayOpKind kind = ReplayOpKind::kLoad;
-};
 
 struct ReplayTraceConfig {
   uint32_t workers = 4;
@@ -142,19 +142,43 @@ inline ReplayTrace GenerateReplayTrace(Machine& machine,
 
 namespace replay_internal {
 
+inline void RunOne(Core& core, const ReplayOp& op) {
+  switch (op.kind) {
+    case ReplayOpKind::kLoad:
+      core.LoadU64(op.addr);
+      break;
+    case ReplayOpKind::kStore:
+      core.StoreU64(op.addr, ReplayStoreValue(op.addr));
+      break;
+    case ReplayOpKind::kClean:
+      core.Prestore(op.addr, op.size, PrestoreOp::kClean);
+      break;
+  }
+}
+
+// Upper bound on ops handed to one FastForwardOps call in concurrent mode,
+// where the core's L1 mutex is held for the whole batch: keeps the hold
+// time short enough that other cores' back-invalidations and interventions
+// are not starved. Exclusive-mode callers (sequential/sliced) elide the
+// lock entirely, so the bound costs them only a loop re-entry per chunk.
+constexpr size_t kFastForwardChunk = 1024;
+
 inline void RunOps(Core& core, const std::vector<ReplayOp>& ops) {
-  for (const ReplayOp& op : ops) {
-    switch (op.kind) {
-      case ReplayOpKind::kLoad:
-        core.LoadU64(op.addr);
-        break;
-      case ReplayOpKind::kStore:
-        core.StoreU64(op.addr, op.addr ^ 0x5aa5a55aULL);
-        break;
-      case ReplayOpKind::kClean:
-        core.Prestore(op.addr, op.size, PrestoreOp::kClean);
-        break;
+  const ReplayOp* p = ops.data();
+  const size_t n = ops.size();
+  size_t i = 0;
+  while (i < n) {
+    const size_t chunk = std::min(n - i, kFastForwardChunk);
+    const size_t done = core.FastForwardOps(p + i, chunk);
+    i += done;
+    if (done == chunk) {
+      continue;  // the whole chunk fast-forwarded; keep going
     }
+    // ops[i] hit a fast-forward hazard (miss, clean, pending writeback,
+    // non-exclusive store target, or fast-forward is off): run it — and
+    // only it — on the full-fidelity path, then resume fast-forwarding.
+    RunOne(core, p[i]);
+    ++i;
   }
 }
 
@@ -189,11 +213,67 @@ inline ReplayResult Finish(Machine& machine, const ReplayTrace& trace,
 inline ReplayResult ReplayConcurrent(Machine& machine,
                                      const ReplayTrace& trace) {
   const uint64_t start_cycles = machine.GlobalTime();
+  // A single worker means a single driving thread (RunParallel runs the
+  // body inline, or on one spawned thread under a watchdog — either way
+  // nobody else touches simulated state), so the engine's internal locks
+  // protect nothing and can be elided.
+  std::optional<ExclusiveExecutionScope> exclusive;
+  if (trace.per_worker.size() <= 1) {
+    exclusive.emplace(machine);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   RunParallel(machine, static_cast<uint32_t>(trace.per_worker.size()),
               [&](Core& core, uint32_t w) {
                 replay_internal::RunOps(core, trace.per_worker[w]);
               });
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  return replay_internal::Finish(machine, trace, start_cycles, dt.count());
+}
+
+struct ReplaySlicedOptions {
+  uint32_t host_threads = 1;
+  uint64_t quantum = 20000;  // simulated cycles per scheduler round
+};
+
+// Sliced replay: worker i's ops on core i under the deterministic
+// time-sliced scheduler. The end state (and so the digest) depends on the
+// trace and the quantum but NOT on host_threads — see scheduler.h. With a
+// quantum larger than the whole run, round 0 runs each core to completion
+// in core order and the result is bit-identical to ReplaySequential.
+inline ReplayResult ReplaySliced(Machine& machine, const ReplayTrace& trace,
+                                 const ReplaySlicedOptions& options = {}) {
+  SchedulerConfig scfg;
+  scfg.host_threads = options.host_threads;
+  scfg.quantum = options.quantum;
+  SimScheduler sched(machine, scfg);
+  for (uint32_t w = 0; w < trace.per_worker.size(); ++w) {
+    const std::vector<ReplayOp>& ops = trace.per_worker[w];
+    sched.Enqueue(w, [&ops, i = size_t{0}](Core& core,
+                                           uint64_t deadline) mutable {
+      const ReplayOp* p = ops.data();
+      const size_t n = ops.size();
+      // Both paths start an op only while now < deadline, and a
+      // fast-forwarded op charges exactly the slow-path cycles, so the
+      // slice covers the same op range whether fast-forward is on or off
+      // (the end state is bit-identical either way; sim_stats_equiv_test).
+      while (i < n && core.now() < deadline) {
+        i += core.FastForwardOps(p + i, n - i, deadline);
+        if (i >= n || core.now() >= deadline) {
+          break;
+        }
+        // ops[i] stopped the fast-forward on a hazard (miss, clean,
+        // pending writeback, ...): run it — and only it — at full
+        // fidelity, then resume fast-forwarding.
+        replay_internal::RunOne(core, p[i]);
+        ++i;
+      }
+      return i >= n;
+    });
+  }
+  const uint64_t start_cycles = machine.GlobalTime();
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.Run();
   const std::chrono::duration<double> dt =
       std::chrono::steady_clock::now() - t0;
   return replay_internal::Finish(machine, trace, start_cycles, dt.count());
@@ -205,6 +285,9 @@ inline ReplayResult ReplayConcurrent(Machine& machine,
 // across engine versions.
 inline ReplayResult ReplaySequential(Machine& machine,
                                      const ReplayTrace& trace) {
+  // One calling thread drives everything, including the settling flush:
+  // run the whole replay in exclusive (lock-elided) mode.
+  ExclusiveExecutionScope exclusive(machine);
   const uint64_t start_cycles = machine.GlobalTime();
   const auto t0 = std::chrono::steady_clock::now();
   for (uint32_t w = 0; w < trace.per_worker.size(); ++w) {

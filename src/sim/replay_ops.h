@@ -1,0 +1,33 @@
+// Line-granular replay operations shared by the replay driver (replay.h)
+// and the core's analytical fast-forward (Core::FastForwardOps): the op
+// format is the unit the fast-forward classifies, so it must be visible to
+// core.h without dragging in the full replay/harness machinery.
+#ifndef SRC_SIM_REPLAY_OPS_H_
+#define SRC_SIM_REPLAY_OPS_H_
+
+#include <cstdint>
+
+namespace prestore {
+
+enum class ReplayOpKind : uint8_t {
+  kLoad,   // one line-granular 8-byte load
+  kStore,  // one line-granular 8-byte store
+  kClean,  // clean pre-store sweep over [addr, addr + size)
+};
+
+struct ReplayOp {
+  uint64_t addr = 0;
+  uint32_t size = 0;  // kClean only: bytes covered by the sweep
+  ReplayOpKind kind = ReplayOpKind::kLoad;
+};
+
+// The functional value a kStore replay op writes. One definition, used by
+// both the slow path (replay.h RunOne) and Core::FastForwardOps, so the
+// two paths can never write different backing-memory contents.
+inline uint64_t ReplayStoreValue(uint64_t addr) {
+  return addr ^ 0x5aa5a55aULL;
+}
+
+}  // namespace prestore
+
+#endif  // SRC_SIM_REPLAY_OPS_H_

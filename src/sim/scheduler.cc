@@ -1,0 +1,126 @@
+#include "src/sim/scheduler.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace prestore {
+
+void SchedulerConfig::Validate() const {
+  if (quantum == 0) {
+    throw std::invalid_argument(
+        "scheduler: quantum must be > 0 simulated cycles");
+  }
+  if (host_threads == 0) {
+    throw std::invalid_argument("scheduler: host_threads must be > 0");
+  }
+}
+
+SimScheduler::SimScheduler(Machine& machine, const SchedulerConfig& config)
+    : machine_(machine), config_(config) {
+  config_.Validate();
+  queues_.resize(machine.config().num_cores);
+}
+
+void SimScheduler::Enqueue(uint32_t core, SliceFn task) {
+  queues_.at(core).push_back(std::move(task));
+}
+
+bool SimScheduler::AnyPending() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimScheduler::RunSlice(uint32_t core_idx, uint64_t deadline) {
+  Core& core = machine_.core(core_idx);
+  std::deque<SliceFn>& q = queues_[core_idx];
+  while (!q.empty() && core.now() < deadline) {
+    if (q.front()(core, deadline)) {
+      q.pop_front();
+    }
+  }
+}
+
+uint64_t SimScheduler::Run() {
+  // Exactly one host thread executes simulated work at any instant (see
+  // the header's determinism contract), so the engine's internal mutexes
+  // protect nothing here — elide them all for the duration.
+  ExclusiveExecutionScope exclusive(machine_);
+  const uint64_t start = machine_.GlobalTime();
+  if (config_.host_threads <= 1) {
+    uint64_t round = 0;
+    while (AnyPending()) {
+      const uint64_t deadline = start + (round + 1) * config_.quantum;
+      for (uint32_t c = 0; c < queues_.size(); ++c) {
+        RunSlice(c, deadline);
+      }
+      ++round;
+    }
+  } else {
+    RunHandoff(start);
+  }
+  return machine_.GlobalTime() - start;
+}
+
+void SimScheduler::RunHandoff(uint64_t start) {
+  // Slices execute under `mu` in the same (round, core) order the serial
+  // path uses; slice k belongs to thread k % M. The unlock/lock pair
+  // between consecutive slices is the handoff: it orders slice k's writes
+  // before slice k+1's reads (happens-before), so every simulated outcome
+  // is independent of M by construction — which is the point: the thread
+  // count must be unobservable in the digest.
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t round = 0;
+  uint32_t cursor = 0;    // next core index to consider this round
+  uint64_t slices = 0;    // slices executed so far (global slice order)
+  bool done = !AnyPending();
+  const uint32_t m = config_.host_threads;
+
+  auto worker = [&](uint32_t id) {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      cv.wait(lock, [&] { return done || slices % m == id; });
+      if (done) {
+        return;
+      }
+      // Advance the cursor to the next core with pending work, rolling
+      // over to a new round when this one is exhausted.
+      while (true) {
+        while (cursor < queues_.size() && queues_[cursor].empty()) {
+          ++cursor;
+        }
+        if (cursor < queues_.size()) {
+          break;
+        }
+        cursor = 0;
+        ++round;
+        if (!AnyPending()) {
+          done = true;
+          cv.notify_all();
+          return;
+        }
+      }
+      const uint32_t core = cursor++;
+      RunSlice(core, start + (round + 1) * config_.quantum);
+      ++slices;
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(m);
+  for (uint32_t id = 0; id < m; ++id) {
+    threads.emplace_back(worker, id);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace prestore

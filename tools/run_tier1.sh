@@ -56,6 +56,31 @@ echo "==> serve smoke (kv_server_cli --smoke)"
 echo "==> cluster failover smoke (bench_serve_cluster --smoke)"
 ./build/bench/bench_serve_cluster --smoke --out=build/BENCH_serve_cluster_smoke.json >/dev/null
 
+# Engine-throughput smoke in BOTH scheduler modes. The bench exits non-zero
+# if either self-check fails: the sequential determinism digest, or the
+# sliced digest diverging between 1 and 3 host threads (scheduler
+# determinism contract, DESIGN.md §12).
+echo "==> sim-throughput smoke (bench_sim_throughput --quick --mode=both)"
+./build/bench/bench_sim_throughput --quick --mode=both \
+  --out=build/BENCH_sim_throughput_smoke.json >/dev/null
+
+# Sliced-scheduler CLI smoke: same trace on 2 vs 3 host threads must print
+# the same machine digest, and quantum=0 must be rejected.
+echo "==> sliced scheduler smoke (sim_throughput_cli --scheduler=sliced)"
+d2=$(./build/tools/sim_throughput_cli --workers=8 --ops=20000 \
+  --scheduler=sliced --host-threads=2 --digest | grep '^digest=')
+d3=$(./build/tools/sim_throughput_cli --workers=8 --ops=20000 \
+  --scheduler=sliced --host-threads=3 --digest | grep '^digest=')
+if [[ "${d2}" != "${d3}" ]]; then
+  echo "sliced digest host-thread variance: ${d2} vs ${d3}" >&2
+  exit 1
+fi
+if ./build/tools/sim_throughput_cli --scheduler=sliced --quantum=0 \
+    >/dev/null 2>&1; then
+  echo "sim_throughput_cli accepted --quantum=0" >&2
+  exit 1
+fi
+
 if [[ "${FAST}" == "0" ]]; then
   # Death tests fork under sanitizers; keep the ASan quarantine small so the
   # parallel suite fits in modest CI memory.
@@ -66,6 +91,12 @@ if [[ "${FAST}" == "0" ]]; then
   echo "==> cluster failover smoke (sanitized build)"
   ./build-sanitize/bench/bench_serve_cluster --smoke \
     --out=build-sanitize/BENCH_serve_cluster_smoke.json >/dev/null
+  # Both scheduler modes under ASan+UBSan with invariant checkers on: the
+  # sliced scheduler's mutex-handoff and the fast-forward path run the same
+  # quick sweep the plain pass ran.
+  echo "==> sim-throughput smoke (sanitized build, --mode=both)"
+  ./build-sanitize/bench/bench_sim_throughput --quick --mode=both \
+    --out=build-sanitize/BENCH_sim_throughput_smoke.json >/dev/null
 fi
 
 echo "==> tier-1 gate passed"

@@ -2,23 +2,75 @@
 // itself (e.g. under `perf record`) without the bench's fixed 1/2/4/8 sweep.
 //
 //   sim_throughput_cli --workers=8 --ops=1000000 --theta=0.99
+//   sim_throughput_cli --workers=8 --scheduler=sliced --host-threads=2
 //   sim_throughput_cli --workers=1 --sequential --digest
 //
 // Prints one human-readable line; --json=PATH additionally writes the run
-// as a JSON object. --digest runs the replay sequentially and prints the
-// machine end-state digest (the determinism-guard value).
+// as a JSON object. --digest runs the replay deterministically (sequential,
+// or sliced when --scheduler=sliced) and prints the machine end-state
+// digest (the determinism-guard value).
 #include <cstdio>
+#include <exception>
 #include <string>
 
 #include "src/sim/config.h"
 #include "src/sim/machine.h"
 #include "src/sim/replay.h"
+#include "src/sim/scheduler.h"
 #include "src/util/cli.h"
 
 using namespace prestore;
 
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "sim_throughput_cli: replay a generated YCSB-like trace against the\n"
+      "simulation engine and report host-side throughput.\n"
+      "\n"
+      "Workload:\n"
+      "  --workers=N          simulated cores / trace streams (default 4)\n"
+      "  --ops=N              line-granular accesses per worker (400000)\n"
+      "  --keys=N             private value blocks per worker (4096)\n"
+      "  --shared-keys=N      value blocks shared by all workers (1024)\n"
+      "  --shared-fraction=F  fraction of ops against shared keys (0.125)\n"
+      "  --value-size=N       bytes per value block (256)\n"
+      "  --read-ratio=F       read fraction of the mix (0.5)\n"
+      "  --theta=F            zipfian skew; 0 = uniform integer-only (0.99)\n"
+      "  --clean-period=N     every Nth put ends with a clean pre-store (8)\n"
+      "  --seed=N             trace seed (42)\n"
+      "  --machine=A|B|Bslow  machine preset (A)\n"
+      "\n"
+      "Execution mode:\n"
+      "  --scheduler=free|sliced\n"
+      "                       free: one free-running host thread per worker\n"
+      "                       (the default); sliced: the deterministic\n"
+      "                       time-sliced scheduler — fixed-quantum rounds,\n"
+      "                       bit-identical results for ANY --host-threads\n"
+      "  --quantum=N          sliced only: simulated cycles per round slice\n"
+      "                       (default 20000; must be > 0 — rejected by\n"
+      "                       SchedulerConfig::Validate)\n"
+      "  --host-threads=N     sliced only: host threads carrying the slices\n"
+      "                       (default 1; changes wall time, never results)\n"
+      "  --sequential         run each worker to completion in worker order\n"
+      "                       on the calling thread\n"
+      "  --digest             print the machine end-state digest (implies a\n"
+      "                       deterministic mode: sequential unless\n"
+      "                       --scheduler=sliced)\n"
+      "\n"
+      "Output:\n"
+      "  --json=PATH          also write the run as a JSON object\n"
+      "  --help               this text\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
   ReplayTraceConfig cfg;
   cfg.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
   cfg.ops_per_worker = flags.GetInt("ops", 400000);
@@ -30,8 +82,35 @@ int main(int argc, char** argv) {
   cfg.zipf_theta = flags.GetDouble("theta", 0.99);
   cfg.clean_period = static_cast<uint32_t>(flags.GetInt("clean-period", 8));
   cfg.seed = flags.GetInt("seed", 42);
+
+  const std::string scheduler = flags.GetString("scheduler", "free");
+  if (scheduler != "free" && scheduler != "sliced") {
+    std::fprintf(stderr, "--scheduler must be free or sliced (got %s)\n",
+                 scheduler.c_str());
+    return 1;
+  }
+  const bool sliced = scheduler == "sliced";
+  ReplaySlicedOptions sliced_options;
+  sliced_options.host_threads =
+      static_cast<uint32_t>(flags.GetInt("host-threads", 1));
+  sliced_options.quantum = flags.GetInt("quantum", 20000);
+  if (sliced) {
+    // Fail fast on an invalid scheduler configuration (quantum=0,
+    // host_threads=0) with the validator's own message, before the trace
+    // is generated.
+    SchedulerConfig check;
+    check.host_threads = sliced_options.host_threads;
+    check.quantum = sliced_options.quantum;
+    try {
+      check.Validate();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "invalid scheduler flags: %s\n", e.what());
+      return 1;
+    }
+  }
   const bool sequential =
-      flags.GetBool("sequential", false) || flags.GetBool("digest", false);
+      flags.GetBool("sequential", false) ||
+      (flags.GetBool("digest", false) && !sliced);
 
   const std::string preset = flags.GetString("machine", "A");
   MachineConfig mc = preset == "B"    ? MachineBFast(cfg.workers)
@@ -39,13 +118,18 @@ int main(int argc, char** argv) {
                                          : MachineA(cfg.workers);
   Machine machine(mc);
   const ReplayTrace trace = GenerateReplayTrace(machine, cfg);
-  const ReplayResult result = sequential ? ReplaySequential(machine, trace)
-                                         : ReplayConcurrent(machine, trace);
+  const ReplayResult result =
+      sliced      ? ReplaySliced(machine, trace, sliced_options)
+      : sequential ? ReplaySequential(machine, trace)
+                   : ReplayConcurrent(machine, trace);
+  const char* mode = sliced      ? "sliced"
+                     : sequential ? "sequential"
+                                  : "concurrent";
 
   std::printf(
       "machine=%s workers=%u mode=%s accesses=%llu host_sec=%.3f"
       " accesses/sec=%.0f sim_Mcycles=%.1f llc_hits=%llu llc_misses=%llu\n",
-      mc.name.c_str(), cfg.workers, sequential ? "sequential" : "concurrent",
+      mc.name.c_str(), cfg.workers, mode,
       static_cast<unsigned long long>(result.accesses), result.host_seconds,
       result.accesses_per_sec,
       static_cast<double>(result.sim_cycles) / 1e6,
@@ -67,10 +151,12 @@ int main(int argc, char** argv) {
     std::fprintf(
         out,
         "{\"machine\": \"%s\", \"workers\": %u, \"mode\": \"%s\","
+        " \"host_threads\": %u, \"quantum\": %llu,"
         " \"accesses\": %llu, \"host_seconds\": %.6f,"
         " \"accesses_per_sec\": %.0f, \"sim_cycles\": %llu}\n",
-        mc.name.c_str(), cfg.workers,
-        sequential ? "sequential" : "concurrent",
+        mc.name.c_str(), cfg.workers, mode,
+        sliced ? sliced_options.host_threads : cfg.workers,
+        static_cast<unsigned long long>(sliced ? sliced_options.quantum : 0),
         static_cast<unsigned long long>(result.accesses),
         result.host_seconds, result.accesses_per_sec,
         static_cast<unsigned long long>(result.sim_cycles));
