@@ -65,4 +65,14 @@ Advice AdviseFunction(const FunctionAnalysis& analysis,
   return fence_bound ? Advice::kDemote : Advice::kNone;
 }
 
+bool AdviceCompatible(Advice offline, Advice online) {
+  if (offline == online) {
+    return true;
+  }
+  const auto write_back_early = [](Advice a) {
+    return a == Advice::kClean || a == Advice::kSkip;
+  };
+  return write_back_early(offline) && write_back_early(online);
+}
+
 }  // namespace prestore

@@ -37,6 +37,16 @@ Advice AdviseClass(const SizeClassReport& cls, bool fence_bound,
 Advice AdviseFunction(const FunctionAnalysis& analysis,
                       const AdviceThresholds& t);
 
+// Whether an online advisor's verdict (the region monitor, src/monitor)
+// agrees with an offline DirtBuster recommendation over the same data:
+// exact match, or both in the write-back-early family {kClean, kSkip}. The
+// online advisor can only gate or admit hints already in the program — it
+// cannot restructure plain stores into non-temporal ones — so kClean is its
+// actionable stand-in where the offline tool would say kSkip. The
+// online-vs-offline cross-check tests assert this relation on dominant
+// regions.
+bool AdviceCompatible(Advice offline, Advice online);
+
 }  // namespace prestore
 
 #endif  // SRC_DIRTBUSTER_RECOMMEND_H_

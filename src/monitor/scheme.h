@@ -1,0 +1,180 @@
+// DAMOS-style declarative scheme rules for the adaptive region monitor
+// (DESIGN.md §13).
+//
+// Each aggregation interval the monitor reduces every region's sampled
+// counters to a SchemeStats view and evaluates an ordered rule list against
+// it; the first rule whose predicates all hold supplies the region's
+// verdict — a pre-store Advice (the shared offline/online vocabulary,
+// src/core/prestore.h) plus a hint gate the governor enforces. The default
+// ruleset encodes the paper-derived policies:
+//
+//   rewritten-while-resident  -> back off (suppress: the Listing-3 misuse)
+//   useless-dominated         -> back off (hints that moved nothing)
+//   writes-before-fence       -> demote, admit
+//   sequential writes, no
+//     re-read within N ivals  -> clean, admit
+//
+// Rules can also be written in a tiny text grammar (one rule per line):
+//
+//   name: field>=number field<=number ... -> advice [gate]
+//
+// with fields {writes, seq, rewrites, useless, fences, noread, samples,
+// cleans, resident, dirty}, advice {none, demote, clean, skip} and gate
+// {admit, suppress, default}. '#' starts a comment.
+#ifndef SRC_MONITOR_SCHEME_H_
+#define SRC_MONITOR_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/prestore.h"
+
+namespace prestore {
+
+// Per-interval, per-region view the rule predicates read. Fractions are
+// over this interval's sampled accesses; rewrite/useless rates are over the
+// interval's admitted (full-rate) clean hints.
+struct SchemeStats {
+  double write_fraction = 0.0;   // sampled writes / sampled accesses
+  double seq_fraction = 0.0;     // ascending near-successor writes / writes
+  double rewrite_rate = 0.0;     // rewrites-after-clean / admitted cleans
+  double useless_rate = 0.0;     // useless hints / admitted cleans
+  double fence_rate = 0.0;       // attributed fences / sampled writes
+  double noread_intervals = 0.0; // consecutive intervals with writes, no read
+  double samples = 0.0;          // sampled accesses this interval
+  double cleans = 0.0;           // admitted clean hints this interval
+  double resident = 0.0;         // 1.0 when the interval probe hit the LLC
+  double dirty = 0.0;            // 1.0 when the probed line was dirty
+};
+
+enum class SchemeField : uint8_t {
+  kWriteFraction,
+  kSeqFraction,
+  kRewriteRate,
+  kUselessRate,
+  kFenceRate,
+  kNoReadIntervals,
+  kSamples,
+  kCleans,
+  kResident,
+  kDirty,
+};
+
+// What the governor does with hints into a region under this verdict.
+enum class HintGate : uint8_t {
+  kDefault,   // no opinion: hints flow as without a monitor
+  kAdmit,     // the rule endorses the hints
+  kSuppress,  // back off: drop hints (except recovery probes)
+};
+
+struct SchemePredicate {
+  SchemeField field = SchemeField::kWriteFraction;
+  bool at_least = true;  // false: at most
+  double bound = 0.0;
+};
+
+struct SchemeRule {
+  std::string name;
+  std::vector<SchemePredicate> predicates;  // conjunction
+  Advice advice = Advice::kNone;
+  HintGate gate = HintGate::kDefault;
+};
+
+inline constexpr uint32_t kNoRule = ~uint32_t{0};
+
+// A region's current verdict: the matched rule's action (kNoRule when no
+// rule matched — advice kNone, gate kDefault).
+struct SchemeVerdict {
+  Advice advice = Advice::kNone;
+  HintGate gate = HintGate::kDefault;
+  uint32_t rule = kNoRule;
+
+  bool operator==(const SchemeVerdict& o) const {
+    return advice == o.advice && gate == o.gate && rule == o.rule;
+  }
+  bool operator!=(const SchemeVerdict& o) const { return !(*this == o); }
+};
+
+// Thresholds the default ruleset is built from. Aligned with the offline
+// AdviceThresholds where the signals correspond (seq_fraction) and with the
+// governor's hysteresis rates where they do (rewrite/useless backoff).
+struct SchemeConfig {
+  double min_write_fraction = 0.5;   // region is a writer
+  double seq_fraction = 0.25;        // ...a sequential one (AdviceThresholds)
+  uint32_t noread_intervals = 3;     // "no re-read within N intervals"
+  double fence_rate = 0.25;          // fences per sampled write: fence-bound
+  double backoff_rewrite_rate = 0.5; // GovernorConfig::backoff_rewrite_rate
+  double backoff_useless_rate = 0.9; // GovernorConfig::backoff_useless_rate
+  double min_interval_cleans = 8.0;  // evidence floor for the backoff rules
+  double min_interval_samples = 4.0; // evidence floor for the admit rules
+};
+
+// The four default rules, in evaluation order (back off before admit).
+std::vector<SchemeRule> DefaultSchemeRules(const SchemeConfig& cfg);
+
+// Parses the text grammar above into `out`. Returns "" on success,
+// otherwise a description of the first error ("line 3: unknown field
+// 'writez'"). `out` is only modified on success.
+std::string ParseSchemeRules(std::string_view text,
+                             std::vector<SchemeRule>* out);
+
+// Renders rules back into the grammar (round-trips through the parser).
+std::string FormatSchemeRules(const std::vector<SchemeRule>& rules);
+
+class SchemeEngine {
+ public:
+  explicit SchemeEngine(std::vector<SchemeRule> rules)
+      : rules_(std::move(rules)) {}
+
+  // First-match-wins evaluation; the default verdict when nothing matches.
+  SchemeVerdict Evaluate(const SchemeStats& stats) const;
+
+  const std::vector<SchemeRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<SchemeRule> rules_;
+};
+
+constexpr std::string_view ToString(HintGate gate) {
+  switch (gate) {
+    case HintGate::kDefault:
+      return "default";
+    case HintGate::kAdmit:
+      return "admit";
+    case HintGate::kSuppress:
+      return "suppress";
+  }
+  return "?";
+}
+
+constexpr std::string_view ToString(SchemeField field) {
+  switch (field) {
+    case SchemeField::kWriteFraction:
+      return "writes";
+    case SchemeField::kSeqFraction:
+      return "seq";
+    case SchemeField::kRewriteRate:
+      return "rewrites";
+    case SchemeField::kUselessRate:
+      return "useless";
+    case SchemeField::kFenceRate:
+      return "fences";
+    case SchemeField::kNoReadIntervals:
+      return "noread";
+    case SchemeField::kSamples:
+      return "samples";
+    case SchemeField::kCleans:
+      return "cleans";
+    case SchemeField::kResident:
+      return "resident";
+    case SchemeField::kDirty:
+      return "dirty";
+  }
+  return "?";
+}
+
+}  // namespace prestore
+
+#endif  // SRC_MONITOR_SCHEME_H_

@@ -1,7 +1,9 @@
 #include "src/robust/governor.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <stdexcept>
 
 #include "src/sim/machine.h"
 
@@ -21,12 +23,32 @@ double HeadroomOf(const DeviceConfig& dev, uint32_t line_size) {
 
 PrestoreGovernor::PrestoreGovernor(Machine& machine, GovernorConfig config)
     : machine_(machine), config_(config) {
+  const std::string error = config_.Validate();
+  if (!error.empty()) {
+    throw std::invalid_argument("GovernorConfig: " + error);
+  }
   const MachineConfig& mc = machine.config();
   dram_headroom_ = HeadroomOf(mc.dram, mc.line_size);
   target_headroom_ = HeadroomOf(mc.target, mc.line_size);
 }
 
 void PrestoreGovernor::Attach() { machine_.AddPrestoreHook(this); }
+
+RegionBackoff& PrestoreGovernor::TouchRegionLocked(uint64_t key) {
+  auto it = region_index_.find(key);
+  if (it != region_index_.end()) {
+    region_lru_.splice(region_lru_.begin(), region_lru_, it->second);
+    return region_lru_.front().backoff;
+  }
+  region_lru_.push_front(TrackedRegion{key, RegionBackoff{}});
+  region_index_[key] = region_lru_.begin();
+  if (region_lru_.size() > config_.max_tracked_regions) {
+    region_index_.erase(region_lru_.back().key);
+    region_lru_.pop_back();
+    ++region_evictions_;
+  }
+  return region_lru_.front().backoff;
+}
 
 double PrestoreGovernor::HeadroomFor(uint64_t line_addr) const {
   return line_addr >= kTargetBase ? target_headroom_ : dram_headroom_;
@@ -78,7 +100,20 @@ HintFate PrestoreGovernor::OnPrestoreHint(uint8_t core, uint64_t line_addr,
     return HintFate::kDrop;
   }
 
-  RegionBackoff& region = regions_[line_addr >> config_.region_shift];
+  // Monitored mode: the adaptive region monitor replaces the fixed-shift
+  // backoff table as the per-region decision source (gate and pressure
+  // sampling above still apply). A null advisor falls back to the fixed
+  // machinery so a misconfigured setup degrades, not crashes.
+  if (config_.policy == GovernorPolicy::kMonitored && advisor_ != nullptr) {
+    if (advisor_->AdviseHint(core, line_addr, op, now) == HintFate::kDrop) {
+      ++suppressed_by_monitor_;
+      return HintFate::kDrop;
+    }
+    ++admitted_;
+    return HintFate::kIssue;
+  }
+
+  RegionBackoff& region = TouchRegionLocked(line_addr >> config_.region_shift);
   const double threshold = under_pressure_
                                ? config_.backoff_rewrite_rate *
                                      config_.pressure_rate_scale
@@ -96,7 +131,10 @@ void PrestoreGovernor::OnUselessHint(uint8_t core, uint64_t line_addr,
   (void)core;
   (void)op;
   std::lock_guard<std::mutex> lock(mu_);
-  regions_[line_addr >> config_.region_shift].OnUseless();
+  if (config_.policy == GovernorPolicy::kMonitored && advisor_ != nullptr) {
+    return;  // the monitor observes useless hints through its own hook
+  }
+  TouchRegionLocked(line_addr >> config_.region_shift).OnUseless();
 }
 
 void PrestoreGovernor::OnRewriteAfterClean(uint8_t core, uint64_t line_addr,
@@ -104,7 +142,10 @@ void PrestoreGovernor::OnRewriteAfterClean(uint8_t core, uint64_t line_addr,
   (void)core;
   (void)now;
   std::lock_guard<std::mutex> lock(mu_);
-  regions_[line_addr >> config_.region_shift].OnRewrite();
+  if (config_.policy == GovernorPolicy::kMonitored && advisor_ != nullptr) {
+    return;  // the monitor observes rewrites through its own hook
+  }
+  TouchRegionLocked(line_addr >> config_.region_shift).OnRewrite();
 }
 
 void PrestoreGovernor::OnFence(uint8_t core, uint64_t now) {
@@ -119,18 +160,22 @@ PrestoreGovernor::Snapshot PrestoreGovernor::TakeSnapshot() const {
   Snapshot snap;
   snap.attempts = attempts_;
   snap.admitted = admitted_;
-  snap.suppressed = suppressed_by_gate_ + suppressed_by_region_;
+  snap.suppressed =
+      suppressed_by_gate_ + suppressed_by_region_ + suppressed_by_monitor_;
   snap.suppressed_by_gate = suppressed_by_gate_;
   snap.suppressed_by_region = suppressed_by_region_;
+  snap.suppressed_by_monitor = suppressed_by_monitor_;
+  snap.region_evictions = region_evictions_;
   snap.fences = fences_;
   snap.gate_closed = gate_closed_;
   snap.under_pressure = under_pressure_;
   snap.last_backlog = last_backlog_;
   snap.last_write_amp = last_write_amp_;
-  snap.regions.reserve(regions_.size());
-  for (const auto& [key, region] : regions_) {
+  snap.regions.reserve(region_lru_.size());
+  for (const TrackedRegion& tracked : region_lru_) {
+    const RegionBackoff& region = tracked.backoff;
     RegionSnapshot rs;
-    rs.region_base = key << config_.region_shift;
+    rs.region_base = tracked.key << config_.region_shift;
     rs.state = region.state();
     rs.admitted = region.admitted();
     rs.suppressed = region.suppressed();
@@ -140,6 +185,10 @@ PrestoreGovernor::Snapshot PrestoreGovernor::TakeSnapshot() const {
     rs.reopens = region.reopens();
     snap.regions.push_back(rs);
   }
+  std::sort(snap.regions.begin(), snap.regions.end(),
+            [](const RegionSnapshot& a, const RegionSnapshot& b) {
+              return a.region_base < b.region_base;
+            });
   return snap;
 }
 
@@ -150,9 +199,11 @@ std::string PrestoreGovernor::Summary() const {
   std::snprintf(buf, sizeof(buf),
                 "governor: attempts=%" PRIu64 " admitted=%" PRIu64
                 " suppressed=%" PRIu64 " (gate=%" PRIu64 " region=%" PRIu64
-                ") fences=%" PRIu64 " gate_closed=%d pressure=%d wa=%.2f\n",
+                " monitor=%" PRIu64 ") evictions=%" PRIu64 " fences=%" PRIu64
+                " gate_closed=%d pressure=%d wa=%.2f\n",
                 snap.attempts, snap.admitted, snap.suppressed,
                 snap.suppressed_by_gate, snap.suppressed_by_region,
+                snap.suppressed_by_monitor, snap.region_evictions,
                 snap.fences, snap.gate_closed ? 1 : 0,
                 snap.under_pressure ? 1 : 0, snap.last_write_amp);
   out += buf;

@@ -27,9 +27,10 @@
 #define SRC_ROBUST_GOVERNOR_H_
 
 #include <cstdint>
-#include <map>
+#include <list>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/robust/governor_policy.h"
@@ -39,9 +40,28 @@ namespace prestore {
 
 class Machine;
 
+// Per-region verdict source for GovernorPolicy::kMonitored: replaces the
+// fixed-shift RegionBackoff table with an external advisor (the adaptive
+// region monitor, src/monitor/region_monitor.h). Called under the
+// governor's lock, once per line-granular hint that survived the global
+// gate; must not call back into the governor.
+class RegionAdvisor {
+ public:
+  virtual ~RegionAdvisor() = default;
+  virtual HintFate AdviseHint(uint8_t core, uint64_t line_addr, PrestoreOp op,
+                              uint64_t now) = 0;
+};
+
 class PrestoreGovernor : public PrestoreHook {
  public:
+  // Throws std::invalid_argument when config.Validate() rejects the
+  // configuration.
   explicit PrestoreGovernor(Machine& machine, GovernorConfig config = {});
+
+  // Installs the per-region advisor consulted in GovernorPolicy::kMonitored
+  // mode (nullptr falls back to the fixed region machinery). Set before
+  // Attach(); the advisor must outlive the governed runs.
+  void SetRegionAdvisor(RegionAdvisor* advisor) { advisor_ = advisor; }
 
   // Registers this governor on the machine's pre-store issue path. The
   // governor must outlive the machine's measured runs.
@@ -74,6 +94,8 @@ class PrestoreGovernor : public PrestoreHook {
     uint64_t suppressed = 0;
     uint64_t suppressed_by_gate = 0;    // global useless-overhead gate
     uint64_t suppressed_by_region = 0;  // per-region rewrite/useless backoff
+    uint64_t suppressed_by_monitor = 0; // kMonitored advisor verdicts
+    uint64_t region_evictions = 0;      // LRU cap displacements
     uint64_t fences = 0;
     bool gate_closed = false;      // global gate currently suppressing
     bool under_pressure = false;   // last device sample exceeded thresholds
@@ -97,19 +119,34 @@ class PrestoreGovernor : public PrestoreHook {
   void SampleDevicePressureLocked(uint64_t now);
   void EvaluateGateLocked();
 
+  // The bounded region table: an LRU list of (region key, backoff state)
+  // with an index by key. Touching a region splices it to the front;
+  // exceeding max_tracked_regions evicts the back (least recently touched)
+  // and counts it. Replaces the former unbounded std::map.
+  struct TrackedRegion {
+    uint64_t key;
+    RegionBackoff backoff;
+  };
+  RegionBackoff& TouchRegionLocked(uint64_t key);
+
   Machine& machine_;
   const GovernorConfig config_;
   double dram_headroom_ = 1.0;
   double target_headroom_ = 1.0;
+  RegionAdvisor* advisor_ = nullptr;
 
   mutable std::mutex mu_;
-  std::map<uint64_t, RegionBackoff> regions_;  // key: addr >> region_shift
+  std::list<TrackedRegion> region_lru_;  // front = most recently touched
+  std::unordered_map<uint64_t, std::list<TrackedRegion>::iterator>
+      region_index_;  // key: addr >> region_shift
 
   // Global counters.
   uint64_t attempts_ = 0;
   uint64_t admitted_ = 0;
   uint64_t suppressed_by_gate_ = 0;
   uint64_t suppressed_by_region_ = 0;
+  uint64_t suppressed_by_monitor_ = 0;
+  uint64_t region_evictions_ = 0;
   uint64_t fences_ = 0;
 
   // Useless-overhead gate state (hysteresis over the fence rate).

@@ -24,10 +24,23 @@
 #define SRC_ROBUST_GOVERNOR_POLICY_H_
 
 #include <cstdint>
+#include <string>
 
 namespace prestore {
 
+// How the governor reaches per-region verdicts. kFixedRegions runs the
+// RegionBackoff hysteresis below over fixed 2^region_shift-byte regions;
+// kMonitored delegates the per-region decision to an installed
+// RegionAdvisor (the adaptive monitor, src/monitor) — the global gate and
+// device-pressure sampling apply in both modes.
+enum class GovernorPolicy : uint8_t {
+  kFixedRegions,
+  kMonitored,
+};
+
 struct GovernorConfig {
+  GovernorPolicy policy = GovernorPolicy::kFixedRegions;
+
   // Regions are 2^region_shift bytes (default 64 KiB): coarse enough that
   // streaming workloads reach a verdict early in each region, fine enough
   // to isolate a misused scratch buffer from its neighbours.
@@ -70,6 +83,58 @@ struct GovernorConfig {
   uint64_t pressure_backlog_cycles = 100000;
   double pressure_write_amp = 2.0;
   double pressure_rate_scale = 0.5;
+
+  // ---- Region-table bound (kFixedRegions) ----
+  // Most-recently-touched regions kept in the per-region table; a sparse
+  // address walk (one hint per 64 KiB region over a huge span) evicts the
+  // least recently touched entry instead of growing without limit. An
+  // evicted region that is touched again restarts from a fresh kOpen state;
+  // the governor counts evictions so benches can see when the cap binds.
+  uint32_t max_tracked_regions = 4096;
+
+  // Empty string when the configuration is coherent; otherwise a
+  // human-readable description of the first problem found (the
+  // ServeConfig::Validate idiom — PrestoreGovernor's constructor throws it).
+  std::string Validate() const {
+    if (region_shift < 6 || region_shift > 40) {
+      return "region_shift must be in [6, 40] (a cache line to 1 TiB)";
+    }
+    if (window_hints == 0) {
+      return "window_hints must be > 0";
+    }
+    if (backoff_rewrite_rate < 0.0 || backoff_rewrite_rate > 1.0 ||
+        reopen_rewrite_rate < 0.0 ||
+        reopen_rewrite_rate > backoff_rewrite_rate) {
+      return "rewrite rates must satisfy 0 <= reopen <= backoff <= 1";
+    }
+    if (backoff_useless_rate < 0.0 || backoff_useless_rate > 1.0 ||
+        reopen_useless_rate < 0.0 ||
+        reopen_useless_rate > backoff_useless_rate) {
+      return "useless rates must satisfy 0 <= reopen <= backoff <= 1";
+    }
+    if (probe_period == 0 || probe_window == 0) {
+      return "probe_period and probe_window must be > 0";
+    }
+    if (backoff_confirm_windows == 0) {
+      return "backoff_confirm_windows must be > 0";
+    }
+    if (global_eval_window == 0) {
+      return "global_eval_window must be > 0";
+    }
+    if (fence_rate_low < 0.0 || fence_rate_high < fence_rate_low) {
+      return "fence rates must satisfy 0 <= low <= high";
+    }
+    if (device_sample_period == 0) {
+      return "device_sample_period must be > 0";
+    }
+    if (pressure_rate_scale <= 0.0 || pressure_rate_scale > 1.0) {
+      return "pressure_rate_scale must be in (0, 1]";
+    }
+    if (max_tracked_regions == 0) {
+      return "max_tracked_regions must be > 0";
+    }
+    return "";
+  }
 };
 
 // The per-region state machine. Not synchronized: callers serialize access.

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/kv/ycsb.h"
+#include "src/monitor/region_monitor.h"
 #include "src/msg/x9.h"
 #include "src/robust/governor_policy.h"
 
@@ -52,6 +53,15 @@ struct ServeConfig {
   // that shard's own regions — a misbehaving shard backs off independently.
   bool governed = false;
   GovernorConfig governor;
+
+  // Adaptive monitoring (DESIGN.md §13): when set (requires `governed`),
+  // the server owns a RegionMonitor with one monitored range per shard
+  // value arena, runs the governor in GovernorPolicy::kMonitored mode with
+  // the monitor as its per-region advisor, and gates the batch-close clean
+  // sweep host-side on the monitor's scheme verdicts (a suppressed shard
+  // region skips its sweep Prestore calls entirely, probes excepted).
+  bool monitored = false;
+  MonitorConfig monitor;
 
   // Load generation. Closed loop: each client keeps exactly one request
   // outstanding. Open loop: clients fire a request every
@@ -123,6 +133,22 @@ struct ServeConfig {
     }
     if (batch_max == 0) {
       return "batch_max must be > 0";
+    }
+    if (governed) {
+      const std::string governor_error = governor.Validate();
+      if (!governor_error.empty()) {
+        return "governor: " + governor_error;
+      }
+    }
+    if (monitored) {
+      if (!governed) {
+        return "monitored requires governed (the monitor advises the "
+               "governor's kMonitored mode)";
+      }
+      const std::string monitor_error = monitor.Validate();
+      if (!monitor_error.empty()) {
+        return "monitor: " + monitor_error;
+      }
     }
     if (open_loop) {
       if (open_loop_interval == 0) {

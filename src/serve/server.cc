@@ -108,8 +108,24 @@ KvServer::KvServer(Machine& machine, const ServeConfig& config)
         Region::kDram));
   }
   if (config_.governed) {
+    if (config_.monitored) {
+      // Monitored mode (DESIGN.md §13): the governor delegates per-region
+      // verdicts to the adaptive monitor, which covers each shard's value
+      // arena as its own monitored range — disjoint spans, so one monitor
+      // is N per-shard monitors with a shared budget.
+      config_.governor.policy = GovernorPolicy::kMonitored;
+    }
     governor_ =
         std::make_unique<PrestoreGovernor>(machine_, config_.governor);
+    if (config_.monitored) {
+      monitor_ = std::make_unique<RegionMonitor>(machine_, config_.monitor);
+      for (const Shard& shard : shards_) {
+        monitor_->Monitor(shard.arena->span_base(),
+                          shard.arena->base() + shard.arena->bytes());
+      }
+      governor_->SetRegionAdvisor(monitor_.get());
+      monitor_->Attach();
+    }
     governor_->Attach();
   }
 }
@@ -263,6 +279,15 @@ void KvServer::ShardWorkerLoop(Core& core, uint32_t shard_idx) {
       // of trickling out of the LLC one line at a time (§4.1 / §7.2.3).
       ScopedFunction f(core, sweep_func_);
       for (const SimAddr slot : touched) {
+        // Scheme-gated sweep: a slot in a region the monitor has backed
+        // off skips its Prestore call entirely (no issue cost, no hook
+        // traffic), except the probes AdviseSweep leaks through so the
+        // region can recover.
+        if (monitor_ != nullptr &&
+            monitor_->AdviseSweep(slot, vs) == HintFate::kDrop) {
+          ++shard.sweeps_gated;
+          continue;
+        }
         core.Prestore(slot, vs, PrestoreOp::kClean);
       }
     }
@@ -274,6 +299,14 @@ uint64_t KvServer::TotalBatches() const {
   uint64_t total = 0;
   for (const Shard& shard : shards_) {
     total += shard.batches;
+  }
+  return total;
+}
+
+uint64_t KvServer::TotalSweepsGated() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sweeps_gated;
   }
   return total;
 }

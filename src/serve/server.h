@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/kv/kvstore.h"
+#include "src/monitor/region_monitor.h"
 #include "src/msg/x9.h"
 #include "src/robust/governor.h"
 #include "src/serve/request.h"
@@ -108,6 +109,14 @@ class KvServer {
   // lifetime; take care not to stack a second governor on the same machine.
   PrestoreGovernor* governor() { return governor_.get(); }
 
+  // Null unless `monitored`: the adaptive region monitor covering every
+  // shard arena (one monitored range per shard), advising the governor and
+  // gating the batch-close sweep (DESIGN.md §13).
+  RegionMonitor* monitor() { return monitor_.get(); }
+
+  // Sweep Prestore calls skipped host-side on the monitor's verdicts.
+  uint64_t TotalSweepsGated() const;
+
   // Per-shard policy state from the governor snapshot (empty if ungoverned).
   std::vector<ShardPolicy> ShardPolicies() const;
 
@@ -117,6 +126,7 @@ class KvServer {
     std::unique_ptr<X9Inbox> requests;
     std::unique_ptr<ValueArena> arena;
     uint64_t batches = 0;  // written only by the shard's worker core
+    uint64_t sweeps_gated = 0;  // slots the monitor excluded from the sweep
   };
 
   Machine& machine_;
@@ -124,6 +134,7 @@ class KvServer {
   std::vector<Shard> shards_;
   std::vector<std::unique_ptr<X9Inbox>> responses_;  // one per client
   std::unique_ptr<PrestoreGovernor> governor_;
+  std::unique_ptr<RegionMonitor> monitor_;
   std::atomic<uint32_t> clients_done_{0};
   bool preloaded_ = false;
 

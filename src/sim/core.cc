@@ -26,6 +26,13 @@ void Core::RefreshFastPathFlags() {
                    std::memory_order_release);
   fast_forward_.store(machine_->fast_forward_enabled(),
                       std::memory_order_release);
+  AccessSampleHook* sampler = machine_->access_sample_hook();
+  sampler_fast_.store(sampler, std::memory_order_release);
+  const uint32_t period = sampler != nullptr ? sampler->SamplePeriod() : 0;
+  if (period != sample_period_) {
+    sample_period_ = period;
+    sample_countdown_ = period;
+  }
 }
 
 void Core::PushFunc(FuncToken token) {
@@ -311,10 +318,12 @@ constexpr size_t kPrefetchAhead = 12;
 
 size_t Core::FastForwardOps(const ReplayOp* ops, size_t n,
                             uint64_t deadline) {
-  // Run-level hazards: any observer (trace sink, pre-store hook) must see
-  // every op at full fidelity, so an observed run never fast-forwards.
+  // Run-level hazards: any observer (trace sink, pre-store hook, access
+  // sampler) must see every op at full fidelity, so an observed run never
+  // fast-forwards.
   if (n == 0 || !fast_forward_.load(std::memory_order_relaxed) ||
-      sink_fast_.load(std::memory_order_acquire) != nullptr || HasHooks()) {
+      sink_fast_.load(std::memory_order_acquire) != nullptr || HasHooks() ||
+      sample_period_ != 0) {
     return 0;
   }
   const uint64_t ls = config_.line_size;
@@ -539,6 +548,7 @@ void Core::TimedAccess(SimAddr addr, size_t size, bool is_store) {
       LineLoad(line);
       Emit(TraceKind::kLoad, a, static_cast<uint32_t>(in_line));
     }
+    MaybeSampleAccess(line, is_store);
     icount_ += std::max<size_t>(1, in_line / 8);
     a += in_line;
     remaining -= in_line;
@@ -643,7 +653,14 @@ bool Core::CasU64(SimAddr addr, uint64_t& expected, uint64_t desired) {
   PublishClock();
   ++stats_.atomics;
   ++icount_;
-  // Atomics carry fence semantics (§4.2): all private stores publish first.
+  // Atomics carry fence semantics (§4.2): all private stores publish first,
+  // and fence-sensitive observers (governor gate, region monitor) must see
+  // them or CAS-publish patterns (X9) read as fence-free.
+  if (HasHooks()) {
+    for (PrestoreHook* hook : machine_->prestore_hooks()) {
+      hook->OnFence(id_, now_);
+    }
+  }
   uint64_t t = DrainSbAll(now_);
   t = WaitAll(bg_, t);
   t = WaitAllWc(t);
@@ -660,6 +677,11 @@ uint64_t Core::FetchAddU64(SimAddr addr, uint64_t delta) {
   PublishClock();
   ++stats_.atomics;
   ++icount_;
+  if (HasHooks()) {
+    for (PrestoreHook* hook : machine_->prestore_hooks()) {
+      hook->OnFence(id_, now_);
+    }
+  }
   uint64_t t = DrainSbAll(now_);
   t = WaitAll(bg_, t);
   t = WaitAllWc(t);

@@ -20,6 +20,7 @@
 #include "src/core/prestore.h"
 #include "src/sim/cache.h"
 #include "src/sim/config.h"
+#include "src/sim/hooks.h"
 #include "src/sim/replay_ops.h"
 #include "src/trace/trace.h"
 
@@ -282,6 +283,26 @@ class Core {
   // off = every op walks the full timing path (the stats-equivalence tests
   // compare the two).
   std::atomic<bool> fast_forward_{true};
+
+  // Sampled-access observation (Machine::SetAccessSampleHook). The period
+  // is cached core-locally so the unobserved per-line cost is one plain
+  // load + predicted branch (period == 0); the countdown survives refreshes
+  // that do not change the installation, so unrelated SetTraceSink calls
+  // cannot perturb the deterministic sample schedule.
+  std::atomic<AccessSampleHook*> sampler_fast_{nullptr};
+  uint32_t sample_period_ = 0;
+  uint32_t sample_countdown_ = 0;
+  void MaybeSampleAccess(uint64_t line_addr, bool is_store) {
+    if (sample_period_ == 0 || --sample_countdown_ != 0) {
+      return;
+    }
+    sample_countdown_ = sample_period_;
+    AccessSampleHook* sampler =
+        sampler_fast_.load(std::memory_order_acquire);
+    if (sampler != nullptr) {
+      sampler->OnSampledAccess(id_, line_addr, is_store, now_);
+    }
+  }
 
   uint64_t now_ = 0;
   uint64_t icount_ = 0;

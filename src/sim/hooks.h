@@ -85,6 +85,30 @@ class PrestoreHook {
   }
 };
 
+// Sampled access observation (the DAMON-style monitor's substrate,
+// src/monitor). At most one sampler is installed per machine
+// (Machine::SetAccessSampleHook); each core then delivers every
+// SamplePeriod()-th line-granular load/store it executes. Sampling is the
+// overhead contract: an unobserved run pays one predicted branch per line
+// access, an observed run pays one virtual call per period. Installing a
+// sampler disables analytical fast-forward (an observed run never
+// fast-forwards), exactly like trace sinks and pre-store hooks.
+class AccessSampleHook {
+ public:
+  virtual ~AccessSampleHook() = default;
+
+  // Line accesses between samples, per core (>= 1). Read once at install
+  // time (RefreshFastPathFlags caches it core-locally); must be constant
+  // for the hook's installed lifetime.
+  virtual uint32_t SamplePeriod() const = 0;
+
+  // Every SamplePeriod()-th line access of core `core`. `now` is the
+  // core's local clock at the sampled access. May be invoked concurrently
+  // from every core's host thread.
+  virtual void OnSampledAccess(uint8_t core, uint64_t line_addr,
+                               bool is_write, uint64_t now) = 0;
+};
+
 }  // namespace prestore
 
 #endif  // SRC_SIM_HOOKS_H_

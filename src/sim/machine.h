@@ -139,6 +139,16 @@ class Machine {
     return prestore_hooks_;
   }
 
+  // Installs (or clears, with nullptr) the single sampled-access observer
+  // (src/monitor). Same contract as the pre-store hooks: install with cores
+  // quiesced, hook outlives the run. Disables analytical fast-forward while
+  // installed (Core::FastForwardOps bails — observed runs see every op).
+  void SetAccessSampleHook(AccessSampleHook* hook) {
+    access_sampler_ = hook;
+    RefreshCoreFastPaths();
+  }
+  AccessSampleHook* access_sample_hook() const { return access_sampler_; }
+
   // ---- Execution modes (DESIGN.md §12) ----
 
   // Exclusive execution: the caller guarantees that AT MOST ONE host thread
@@ -297,6 +307,27 @@ class Machine {
     return shard.cache->Probe(line_addr) != nullptr;
   }
 
+  // LlcResident plus the line's dirtiness — the region monitor's
+  // once-per-region-per-interval pull probe. Non-mutating (no replacement
+  // touch, no stats); `*dirty` is written only on residency.
+  bool LlcProbe(uint64_t line_addr, bool* dirty) {
+    LlcShard& shard = ShardFor(line_addr);
+    OptionalLockGuard lock(shard.mu, exclusive_execution());
+    const CacheLineMeta* meta = shard.cache->Probe(line_addr);
+    if (meta == nullptr) {
+      return false;
+    }
+    *dirty = meta->dirty;
+    return true;
+  }
+
+  // Bytes bump-allocated in the target region so far. Lets callers (e.g. a
+  // whole-workload region monitor) cover exactly the allocated target span
+  // [kTargetBase, kTargetBase + target_allocated()).
+  uint64_t target_allocated() const {
+    return target_brk_.load(std::memory_order_relaxed);
+  }
+
   // On-demand aggregate of the per-core counter stripes. Exact once the
   // cores have quiesced; a mid-run snapshot may miss in-flight bumps (the
   // old global-atomic accounting had the same property).
@@ -451,6 +482,7 @@ class Machine {
   FunctionRegistry registry_;
   std::atomic<TraceSink*> sink_{nullptr};
   std::vector<PrestoreHook*> prestore_hooks_;
+  AccessSampleHook* access_sampler_ = nullptr;
   std::atomic<bool> exclusive_{false};
   std::atomic<bool> fast_forward_{true};
 };

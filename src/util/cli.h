@@ -4,9 +4,11 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace prestore {
 
@@ -53,6 +55,31 @@ class CliFlags {
   }
 
   bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+  // Flags that were passed but are not in `known` ("help" is always known).
+  // CLIs reject these up front so a typo ("--monitered") fails loudly
+  // instead of silently running the default configuration.
+  std::vector<std::string> UnknownFlags(
+      std::initializer_list<std::string_view> known) const {
+    std::vector<std::string> unknown;
+    for (const auto& [key, value] : flags_) {
+      (void)value;
+      if (key == "help") {
+        continue;
+      }
+      bool found = false;
+      for (std::string_view k : known) {
+        if (key == k) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        unknown.push_back(key);
+      }
+    }
+    return unknown;
+  }
 
  private:
   std::map<std::string, std::string> flags_;

@@ -36,6 +36,28 @@ TEST(Cli, DoubleAndBoolParsing) {
   EXPECT_TRUE(flags.GetBool("one", false));
 }
 
+TEST(Cli, UnknownFlagsFlagsTypos) {
+  const char* argv[] = {"prog", "--iters=500", "--monitered", "--smoke"};
+  CliFlags flags(4, const_cast<char**>(argv));
+  const auto unknown = flags.UnknownFlags({"iters", "smoke", "monitored"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "monitered");
+}
+
+TEST(Cli, UnknownFlagsAlwaysKnowsHelp) {
+  const char* argv[] = {"prog", "--help"};
+  CliFlags flags(2, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.UnknownFlags({"iters"}).empty());
+  EXPECT_TRUE(flags.UnknownFlags({}).empty());
+}
+
+TEST(Cli, UnknownFlagsEmptyWhenAllKnown) {
+  const char* argv[] = {"prog", "--a=1", "--b"};
+  CliFlags flags(3, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.UnknownFlags({"a", "b", "c"}).empty());
+  EXPECT_EQ(flags.UnknownFlags({}).size(), 2u);
+}
+
 TEST(HumanBytes, Formats) {
   EXPECT_EQ(HumanBytes(0), "0B");
   EXPECT_EQ(HumanBytes(240), "240B");

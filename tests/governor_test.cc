@@ -261,5 +261,68 @@ TEST(PrestoreGovernor, SummaryMentionsActedRegions) {
   EXPECT_NE(summary.find("backoff"), std::string::npos);
 }
 
+// ---- Config validation + the bounded region table ----
+
+TEST(GovernorConfig, ValidateCatchesIncoherentSettings) {
+  GovernorConfig cfg;
+  EXPECT_EQ(cfg.Validate(), "");
+
+  cfg.region_shift = 4;
+  EXPECT_NE(cfg.Validate(), "");
+  cfg = GovernorConfig{};
+
+  cfg.backoff_rewrite_rate = 0.2;
+  cfg.reopen_rewrite_rate = 0.5;  // reopen must not exceed backoff
+  EXPECT_NE(cfg.Validate(), "");
+  cfg = GovernorConfig{};
+
+  cfg.max_tracked_regions = 0;
+  EXPECT_NE(cfg.Validate(), "");
+}
+
+TEST(PrestoreGovernor, ConstructorThrowsOnBadConfig) {
+  Machine machine(MachineA(1));
+  GovernorConfig cfg;
+  cfg.probe_period = 0;
+  EXPECT_THROW(PrestoreGovernor(machine, cfg), std::invalid_argument);
+}
+
+TEST(PrestoreGovernor, RegionTableIsLruBounded) {
+  Machine machine(MachineA(1));
+  GovernorConfig cfg = FastConfig();
+  cfg.region_shift = 12;       // 4 KiB regions
+  cfg.max_tracked_regions = 8; // tiny cap to force displacement
+  PrestoreGovernor governor(machine, cfg);
+  governor.Attach();
+
+  const SimAddr base = machine.Alloc(512ULL << 12);
+  Core& core = machine.core(0);
+  // Touch 256 distinct regions once each: the table must stay at the cap
+  // and count the displacements.
+  for (uint64_t r = 0; r < 256; ++r) {
+    core.StoreU64(base + (r << 12), r);
+    core.Prestore(base + (r << 12), 64, PrestoreOp::kClean);
+  }
+  const PrestoreGovernor::Snapshot snap = governor.TakeSnapshot();
+  EXPECT_LE(snap.regions.size(), 8u);
+  EXPECT_GE(snap.region_evictions, 256u - 8u);
+
+  // LRU, not FIFO: keep re-touching one region while streaming new ones —
+  // the hot region must survive the churn.
+  const uint64_t hot = (base >> 12) << 12;
+  for (uint64_t r = 256; r < 320; ++r) {
+    core.Prestore(hot, 64, PrestoreOp::kClean);
+    core.Prestore(base + (r << 12), 64, PrestoreOp::kClean);
+  }
+  bool hot_present = false;
+  for (const PrestoreGovernor::RegionSnapshot& r :
+       governor.TakeSnapshot().regions) {
+    if (r.region_base == hot) {
+      hot_present = true;
+    }
+  }
+  EXPECT_TRUE(hot_present);
+}
+
 }  // namespace
 }  // namespace prestore

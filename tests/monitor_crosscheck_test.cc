@@ -1,0 +1,153 @@
+// Offline/online cross-check (DESIGN.md §13): DirtBuster's trace-based
+// recommendations and the RegionMonitor's sampled online verdicts must
+// agree — through AdviceCompatible's shared vocabulary — on the dominant
+// region of the same deterministic workload, run on separate machines.
+//
+// The online monitor cannot restructure stores into non-temporal ones, so
+// offline kSkip and online kClean count as the same write-back-early
+// family; everything else must match exactly.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "src/dirtbuster/dirtbuster.h"
+#include "src/dirtbuster/recommend.h"
+#include "src/monitor/region_monitor.h"
+#include "src/sim/harness.h"
+#include "src/sim/machine.h"
+#include "src/util/rng.h"
+
+namespace prestore {
+namespace {
+
+TEST(AdviceCompatible, SharedVocabulary) {
+  EXPECT_TRUE(AdviceCompatible(Advice::kNone, Advice::kNone));
+  EXPECT_TRUE(AdviceCompatible(Advice::kDemote, Advice::kDemote));
+  EXPECT_TRUE(AdviceCompatible(Advice::kClean, Advice::kClean));
+  // Write-back-early family: the offline tool can restructure stores into
+  // NT (skip); the online monitor can only clean. Same placement intent.
+  EXPECT_TRUE(AdviceCompatible(Advice::kSkip, Advice::kClean));
+  EXPECT_TRUE(AdviceCompatible(Advice::kClean, Advice::kSkip));
+  EXPECT_FALSE(AdviceCompatible(Advice::kNone, Advice::kClean));
+  EXPECT_FALSE(AdviceCompatible(Advice::kDemote, Advice::kClean));
+  EXPECT_FALSE(AdviceCompatible(Advice::kDemote, Advice::kNone));
+}
+
+class CrosscheckTest : public ::testing::Test {
+ protected:
+  // Runs `workload(core, base)` twice on separate machines: once under
+  // DirtBuster's trace analysis, once sampled by an attached RegionMonitor
+  // over [base, base+bytes). Returns both verdicts for the region.
+  struct Verdicts {
+    Advice offline = Advice::kNone;
+    SchemeVerdict online;
+  };
+
+  Verdicts Run(uint64_t bytes,
+               const std::function<void(Core&, SimAddr)>& workload) {
+    Verdicts v;
+    {
+      Machine machine(MachineA(2));
+      const SimAddr base = machine.Alloc(bytes);
+      const FuncToken tok{machine.registry().Intern("writer", "w.cc:1")};
+      DirtBuster db(machine);
+      const DirtBusterReport report = db.Analyze([&] {
+        Core& core = machine.core(0);
+        ScopedFunction f(core, tok);
+        workload(core, base);
+      });
+      v.offline = report.OverallAdvice();
+    }
+    {
+      Machine machine(MachineA(2));
+      const SimAddr base = machine.Alloc(bytes);
+      MonitorConfig cfg;
+      cfg.sample_period = 8;
+      cfg.aggregation_samples = 128;
+      RegionMonitor monitor(machine, cfg);
+      monitor.Monitor(base, base + bytes);
+      monitor.Attach();
+      workload(machine.core(0), base);
+      // Dominant verdict: the active (rule-matched) verdict covering the
+      // most monitored bytes. Per-interval sample counts are too noisy for
+      // a single region to be "the" answer once the range has split into
+      // many small regions; address coverage is the steady-state signal.
+      const RegionMonitor::Snapshot snap = monitor.TakeSnapshot();
+      std::map<uint32_t, uint64_t> bytes_by_rule;
+      for (const MonitorRegion& r : snap.regions) {
+        if (r.verdict.rule != kNoRule) {
+          bytes_by_rule[r.verdict.rule] += r.end - r.start;
+        }
+      }
+      uint64_t best = 0;
+      for (const auto& [rule, covered] : bytes_by_rule) {
+        if (covered > best) {
+          best = covered;
+          for (const MonitorRegion& r : snap.regions) {
+            if (r.verdict.rule == rule) {
+              v.online = r.verdict;
+              break;
+            }
+          }
+        }
+      }
+    }
+    return v;
+  }
+};
+
+TEST_F(CrosscheckTest, BulkSequentialWriterAgreesOnWriteBackEarly) {
+  // dirtbuster_test's SequentialNeverReusedWriterGetsSkip shape: offline
+  // recommends kSkip (NT restructuring); online recommends kClean — the
+  // same family via AdviceCompatible.
+  const Verdicts v = Run(32 << 20, [](Core& core, SimAddr base) {
+    for (uint64_t i = 0; i < (8ULL << 20) / 8; ++i) {
+      core.StoreU64(base + i * 8, i);
+    }
+  });
+  EXPECT_EQ(v.offline, Advice::kSkip);
+  EXPECT_EQ(v.online.advice, Advice::kClean);
+  EXPECT_TRUE(AdviceCompatible(v.offline, v.online.advice));
+}
+
+TEST_F(CrosscheckTest, HotRewrittenRegionAgreesOnNoPrestore) {
+  // The Listing-3 trap plus misuse cleans: DirtBuster refuses to recommend
+  // a pre-store; the monitor, seeing the rewrite-after-clean storm those
+  // cleans cause, suppresses the region.
+  const Verdicts v = Run(1 << 16, [](Core& core, SimAddr base) {
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 100000; ++i) {
+      const SimAddr line = base + rng.Below(64) * 64;
+      core.StoreU64(line + rng.Below(8) * 8, i);
+      if (i % 4 == 3) {
+        core.Prestore(line, 64, PrestoreOp::kClean);  // the misuse
+      }
+    }
+  });
+  EXPECT_FALSE(AdviceCompatible(v.offline, Advice::kClean));
+  EXPECT_EQ(v.online.gate, HintGate::kSuppress);
+  EXPECT_TRUE(AdviceCompatible(v.offline, v.online.advice));
+}
+
+TEST_F(CrosscheckTest, WriteBeforeFenceAgreesOnDemote) {
+  // dirtbuster_test's X9-style fill-then-publish shape: both sides land on
+  // demote for the reused message buffers.
+  const Verdicts v = Run(64 * 256, [](Core& core, SimAddr base) {
+    const SimAddr flag = base;  // first line doubles as the publish flag
+    for (int i = 0; i < 30000; ++i) {
+      const SimAddr m = base + 64 + (i % 63) * 256;
+      for (int j = 0; j < 24; ++j) {
+        core.StoreU64(m + j * 8, i + j);
+      }
+      uint64_t expected = core.LoadU64(flag);
+      core.CasU64(flag, expected, i);  // fence semantics
+    }
+  });
+  EXPECT_EQ(v.offline, Advice::kDemote);
+  EXPECT_EQ(v.online.advice, Advice::kDemote);
+  EXPECT_TRUE(AdviceCompatible(v.offline, v.online.advice));
+}
+
+}  // namespace
+}  // namespace prestore

@@ -68,10 +68,77 @@ void AddFault(FaultPlan* plan, FaultKind kind, uint32_t node, uint64_t at,
                                   .node = node});
 }
 
+void PrintUsage() {
+  std::cout <<
+      "kv_cluster_cli: run one replicated serving-cluster experiment\n"
+      "(N heterogeneous nodes, R-way replication, deterministic node\n"
+      "faults, per-phase throughput / tail latency report).\n"
+      "\n"
+      "Workload:\n"
+      "  --workload=a|b|c|f   YCSB mix (default a)\n"
+      "  --keys=N             keys preloaded per run (4096)\n"
+      "  --value_size=N       bytes per value (512)\n"
+      "  --drivers=N          driver threads multiplexing clients (2)\n"
+      "  --clients=N          logical open-loop clients (8)\n"
+      "  --ops=N              requests per logical client (500)\n"
+      "  --arena_slots=N      per-shard value-ring slots (256)\n"
+      "  --zipf_theta=F       key-popularity skew\n"
+      "  --seed=N             workload seed (42)\n"
+      "\n"
+      "Cluster:\n"
+      "  --nodes=N            node machines (3)\n"
+      "  --replication=N      replicas per key (3)\n"
+      "  --virtual_nodes=N    ring points per node, power of two (64)\n"
+      "  --ring_seed=N        consistent-hash ring seed\n"
+      "  --shards=N           shard workers per node (2)\n"
+      "  --net_latency=N      one-way inter-node hop, cycles (500)\n"
+      "  --unhealthy_after=N  consecutive failures before backoff (2)\n"
+      "  --max_attempts=N     replica-set passes before giving up (8)\n"
+      "\n"
+      "Serving:\n"
+      "  --batch_max=N        requests per batch (8)\n"
+      "  --batch_window=N     batch-open window, cycles (800)\n"
+      "  --batched_clean=B    close batches with a clean sweep (true)\n"
+      "  --governed           attach the adaptive pre-store governor\n"
+      "  --interval=N         open-loop arrival interval, cycles (80000)\n"
+      "  --inflight=N         open-loop outstanding cap (1)\n"
+      "  --settle=N           exclude the first N cycles from latency\n"
+      "\n"
+      "Faults (node index >= 0 enables; --*_at are %% of the run span):\n"
+      "  --kill_node=N --kill_at=P\n"
+      "  --drain_node=N --drain_at=P --drain_pct=P\n"
+      "  --degrade_node=N --degrade_at=P --degrade_pct=P\n"
+      "  --degrade_cycles=F   added service cycles while degraded (20000)\n"
+      "  --fault_seed=N       fault-window jitter seed (29)\n"
+      "\n"
+      "  --smoke              small deterministic failover run\n"
+      "  --help               this text\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
+  const auto unknown = flags.UnknownFlags(
+      {"workload", "keys", "value_size", "drivers", "ops", "arena_slots",
+       "zipf_theta", "seed", "shards", "batch_max", "batch_window",
+       "batched_clean", "governed", "interval", "inflight", "clients",
+       "nodes", "replication", "virtual_nodes", "ring_seed", "net_latency",
+       "unhealthy_after", "max_attempts", "settle", "fault_seed",
+       "kill_node", "kill_at", "drain_node", "drain_at", "drain_pct",
+       "degrade_node", "degrade_at", "degrade_pct", "degrade_cycles",
+       "smoke"});
+  if (!unknown.empty()) {
+    for (const std::string& flag : unknown) {
+      std::cerr << "unknown flag --" << flag << "\n";
+    }
+    std::cerr << "run with --help for the flag list\n";
+    return 1;
+  }
   const bool smoke = flags.GetBool("smoke", false);
 
   ServeConfig cfg;

@@ -33,10 +33,68 @@ const char* StateName(const ShardPolicy& p) {
   return p.backed_off_regions > 0 ? "backoff" : "open";
 }
 
+void PrintUsage() {
+  std::cout <<
+      "kv_server_cli: run one sharded-KV serving experiment (preload, YCSB\n"
+      "mix, throughput / tail latency / write amplification report).\n"
+      "\n"
+      "Workload:\n"
+      "  --workload=a|b|c|d|f YCSB mix (default a)\n"
+      "  --keys=N             keys preloaded per run (8192)\n"
+      "  --value_size=N       bytes per value (1024)\n"
+      "  --clients=N          client cores (4)\n"
+      "  --ops=N              requests per client (1000)\n"
+      "  --arena_slots=N      per-shard value-ring slots (512)\n"
+      "  --zipf_theta=F       key-popularity skew\n"
+      "  --seed=N             workload seed (42)\n"
+      "\n"
+      "Server:\n"
+      "  --index=clht|masstree\n"
+      "  --shards=N           shard worker cores (4)\n"
+      "  --queue_slots=N      admission queue capacity, power of two (64)\n"
+      "  --batch_max=N        requests per batch (8)\n"
+      "  --batch_window=N     batch-open window, cycles (4000)\n"
+      "  --batched_clean=B    close batches with a clean sweep (true)\n"
+      "  --governed           attach the adaptive pre-store governor\n"
+      "  --monitored          adaptive region monitor advising the governor\n"
+      "                       and gating the batch sweep (implies per-shard\n"
+      "                       monitored arenas; requires --governed)\n"
+      "\n"
+      "Load loop:\n"
+      "  --open_loop          fire-at-interval clients (default closed loop)\n"
+      "  --interval=N         open-loop arrival interval, cycles (2000)\n"
+      "  --inflight=N         open-loop outstanding cap (4)\n"
+      "  --settle=N           exclude the first N cycles from latency (0)\n"
+      "\n"
+      "Run shape:\n"
+      "  --cores=N            machine cores (shards + clients)\n"
+      "  --media_cycles_per_byte=F  target media cost (0.9)\n"
+      "  --warmup_ops=N       unmeasured warmup requests per client (200)\n"
+      "  --smoke              small deterministic sanity run\n"
+      "  --help               this text\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
+  const auto unknown = flags.UnknownFlags(
+      {"workload", "keys", "value_size", "clients", "ops", "arena_slots",
+       "zipf_theta", "seed", "index", "shards", "queue_slots", "batch_max",
+       "batch_window", "batched_clean", "governed", "monitored", "open_loop",
+       "interval", "inflight", "settle", "cores", "media_cycles_per_byte",
+       "warmup_ops", "smoke"});
+  if (!unknown.empty()) {
+    for (const std::string& flag : unknown) {
+      std::cerr << "unknown flag --" << flag << "\n";
+    }
+    std::cerr << "run with --help for the flag list\n";
+    return 1;
+  }
   const bool smoke = flags.GetBool("smoke", false);
 
   ServeConfig cfg;
@@ -65,6 +123,7 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("batch_window", 4000));
   cfg.batched_clean = flags.GetBool("batched_clean", true);
   cfg.governed = flags.GetBool("governed", false);
+  cfg.monitored = flags.GetBool("monitored", false);
   cfg.open_loop = flags.GetBool("open_loop", false);
   cfg.open_loop_interval =
       static_cast<uint64_t>(flags.GetInt("interval", 2000));
@@ -92,7 +151,8 @@ int main(int argc, char** argv) {
             << " keys=" << cfg.ycsb.num_keys << "x" << cfg.ycsb.value_size
             << "B " << (cfg.open_loop ? "open" : "closed") << "-loop"
             << (cfg.batched_clean ? " batched-clean" : "")
-            << (cfg.governed ? " governed" : "") << "\n\n";
+            << (cfg.governed ? " governed" : "")
+            << (cfg.monitored ? " monitored" : "") << "\n\n";
 
   KvServer server(machine, cfg);
   const uint32_t warmup_ops =
@@ -141,6 +201,10 @@ int main(int argc, char** argv) {
     }
     p.Print(std::cout);
     std::cout << "\n" << server.governor()->Summary();
+  }
+  if (cfg.monitored) {
+    std::cout << "\nsweeps gated by monitor: " << server.TotalSweepsGated()
+              << "\n" << server.monitor()->Summary();
   }
 
   // kF closed-loop issues one extra GET per write (read-modify-write);

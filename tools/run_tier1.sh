@@ -81,6 +81,25 @@ if ./build/tools/sim_throughput_cli --scheduler=sliced --quantum=0 \
   exit 1
 fi
 
+# Monitored-governor smoke: misuse recovery on an unprofiled workload,
+# sub-percent monitoring overhead, and the monitor-attached determinism
+# digest across host thread counts. The bench exits non-zero on any gate.
+echo "==> monitor smoke (bench_monitor --quick)"
+./build/bench/bench_monitor --quick --out=build/BENCH_monitor_smoke.json \
+  >/dev/null
+
+# Monitored serving CLI smoke plus the PR-7 CLI surface on both serving
+# CLIs: --help exits 0, a typo'd flag is rejected loudly.
+echo "==> monitored serve smoke (kv_server_cli --smoke --governed --monitored)"
+./build/tools/kv_server_cli --smoke --governed --monitored >/dev/null
+for cli in kv_server_cli kv_cluster_cli; do
+  ./build/tools/${cli} --help >/dev/null
+  if ./build/tools/${cli} --monitered >/dev/null 2>&1; then
+    echo "${cli} accepted an unknown flag" >&2
+    exit 1
+  fi
+done
+
 if [[ "${FAST}" == "0" ]]; then
   # Death tests fork under sanitizers; keep the ASan quarantine small so the
   # parallel suite fits in modest CI memory.
@@ -97,6 +116,11 @@ if [[ "${FAST}" == "0" ]]; then
   echo "==> sim-throughput smoke (sanitized build, --mode=both)"
   ./build-sanitize/bench/bench_sim_throughput --quick --mode=both \
     --out=build-sanitize/BENCH_sim_throughput_smoke.json >/dev/null
+  # Monitor gates under ASan+UBSan: the sampling hot path, split/merge
+  # bookkeeping, and the advisor locking run the same quick sweep.
+  echo "==> monitor smoke (sanitized build)"
+  ./build-sanitize/bench/bench_monitor --quick \
+    --out=build-sanitize/BENCH_monitor_smoke.json >/dev/null
 fi
 
 echo "==> tier-1 gate passed"
