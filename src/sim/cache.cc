@@ -1,6 +1,7 @@
 #include "src/sim/cache.h"
 
 #include <cassert>
+#include <new>
 
 #include "src/util/rng.h"
 
@@ -31,17 +32,28 @@ SetAssocCache::SetAssocCache(const CacheConfig& config, uint64_t seed,
          "shard stride must be a power of two");
   line_shift_ = Log2(config_.line_size);
   global_set_mask_ = IsPow2(global_sets_) ? global_sets_ - 1 : 0;
+  set_mod_ = ModReciprocal(global_sets_);
   stride_shift_ = Log2(stride);
   // Global sets owned by this view: {shard, shard + stride, ...}.
   num_sets_ =
       global_sets_ > shard ? (global_sets_ - 1 - shard) / stride + 1 : 0;
-  lines_.resize(num_sets_ * config_.ways);
-  tags_.assign(num_sets_ * config_.ways, kInvalidTag);
-  plru_bits_.assign(num_sets_, 0);
-  set_stamp_.assign(num_sets_, 0);
-  set_rng_.resize(num_sets_);
-  way_hint_.assign(num_sets_, kNoHint);
-  valid_count_.assign(num_sets_, 0);
+  // One contiguous SetBlock per owned set (layout constants validated
+  // against kSetBlockMaxBytes above). Chunk{} zero-fills, which already
+  // initializes the packed age bytes.
+  ages_offset_ = kSetBlockScalarBytes + kSetBlockTagBytes * config_.ways;
+  meta_offset_ = SetBlockHeaderBytes(config_.ways);
+  block_bytes_ = SetBlockBytes(config_.ways);
+  blocks_.assign(num_sets_ * block_bytes_ / kSetBlockAlign, Chunk{});
+  for (uint64_t set = 0; set < num_sets_; ++set) {
+    unsigned char* blk = Block(set);
+    new (blk) SetScalars{};
+    uint64_t* tags = TagsIn(blk);
+    CacheLineMeta* meta = MetaIn(blk);
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+      new (&tags[w]) uint64_t(kInvalidTag);
+      new (&meta[w]) CacheLineMeta{};
+    }
+  }
   // Per-set RNG state comes from one SplitMix64 stream walked in GLOBAL set
   // order; a shard view keeps only its own sets' draws. This is what makes a
   // sharded cache's victim choices bit-identical to the monolithic cache's.
@@ -49,23 +61,23 @@ SetAssocCache::SetAssocCache(const CacheConfig& config, uint64_t seed,
   for (uint64_t g = 0; g < global_sets_; ++g) {
     const uint64_t draw = sm.Next() | 1;
     if ((g & (stride - 1)) == shard) {
-      set_rng_[g >> stride_shift_] = draw;
+      ScalarsOf(g >> stride_shift_).rng = draw;
     }
   }
 }
 
-uint64_t SetAssocCache::NextRand(uint64_t set) {
+uint64_t SetAssocCache::NextRand(unsigned char* blk) {
   // xorshift64: cheap per-set deterministic randomness for victim choice.
-  uint64_t x = set_rng_[set];
+  uint64_t x = ScalarsIn(blk).rng;
   x ^= x << 13;
   x ^= x >> 7;
   x ^= x << 17;
-  set_rng_[set] = x;
+  ScalarsIn(blk).rng = x;
   return x;
 }
 
-uint32_t SetAssocCache::PlruVictim(uint64_t set) const {
-  const uint64_t bits = plru_bits_[set];
+uint32_t SetAssocCache::PlruVictim(const unsigned char* blk) const {
+  const uint64_t bits = ScalarsIn(blk).plru_bits;
   uint32_t node = 1;
   uint32_t way = 0;
   uint32_t span = config_.ways;
@@ -80,12 +92,12 @@ uint32_t SetAssocCache::PlruVictim(uint64_t set) const {
   return way;
 }
 
-uint32_t SetAssocCache::PickVictim(uint64_t set) {
-  CacheLineMeta* base = SetBase(set);
+uint32_t SetAssocCache::PickVictim(unsigned char* blk) {
+  CacheLineMeta* base = MetaIn(blk);
   // Invalid ways first. Warm sets are full, so the scan is skipped for them
-  // (valid_count_ tracks exactly how many ways hold a line).
-  if (valid_count_[set] < config_.ways) {
-    const uint64_t* tags = &tags_[set * config_.ways];
+  // (valid_count tracks exactly how many ways hold a line).
+  if (ScalarsIn(blk).valid_count < config_.ways) {
+    const uint64_t* tags = TagsIn(blk);
     for (uint32_t w = 0; w < config_.ways; ++w) {
       if (tags[w] == kInvalidTag) {
         return w;
@@ -104,27 +116,30 @@ uint32_t SetAssocCache::PickVictim(uint64_t set) {
       return victim;
     }
     case ReplacementPolicy::kTreePlru:
-      return PlruVictim(set);
+      return PlruVictim(blk);
     case ReplacementPolicy::kRandom:
-      return static_cast<uint32_t>(NextRand(set) % config_.ways);
+      return static_cast<uint32_t>(NextRand(blk) % config_.ways);
     case ReplacementPolicy::kQuadAge: {
       // Intel-style pseudo-LRU: pick randomly among the oldest (age 3) lines;
       // if none has reached age 3, age every line until one does. This is
       // what makes evictions look "random" to software (§4.1). The candidate
       // buffer holds one slot per way; CacheConfig::Validate caps ways at 64.
+      // The whole scan-and-age loop runs on the header's packed age bytes —
+      // it never touches the meta records.
+      uint8_t* ages = AgesIn(blk);
       while (true) {
         uint32_t candidates[64];
         uint32_t n = 0;
         for (uint32_t w = 0; w < config_.ways; ++w) {
-          if (base[w].age >= 3) {
+          if (ages[w] >= 3) {
             candidates[n++] = w;
           }
         }
         if (n > 0) {
-          return candidates[NextRand(set) % n];
+          return candidates[NextRand(blk) % n];
         }
         for (uint32_t w = 0; w < config_.ways; ++w) {
-          ++base[w].age;
+          ++ages[w];
         }
       }
     }
@@ -134,9 +149,9 @@ uint32_t SetAssocCache::PickVictim(uint64_t set) {
 
 SetAssocCache::Victim SetAssocCache::Insert(uint64_t line_addr, bool dirty,
                                             CacheLineMeta** out_line) {
-  const uint64_t set = SetIndexOf(line_addr);
-  const uint32_t way = PickVictim(set);
-  CacheLineMeta& slot = SetBase(set)[way];
+  unsigned char* blk = Block(SetIndexOf(line_addr));
+  const uint32_t way = PickVictim(blk);
+  CacheLineMeta& slot = MetaIn(blk)[way];
 
   Victim victim;
   if (slot.valid) {
@@ -146,10 +161,11 @@ SetAssocCache::Victim SetAssocCache::Insert(uint64_t line_addr, bool dirty,
     victim.owner = slot.owner;
     victim.sharers = slot.sharers;
   } else {
-    ++valid_count_[set];
+    ++ScalarsIn(blk).valid_count;
   }
 
-  tags_[set * config_.ways + way] = line_addr;
+  TagsIn(blk)[way] = line_addr;
+  AgesIn(blk)[way] = 0;
   slot = CacheLineMeta{};
   slot.line_addr = line_addr;
   slot.valid = true;
@@ -157,18 +173,19 @@ SetAssocCache::Victim SetAssocCache::Insert(uint64_t line_addr, bool dirty,
   switch (config_.policy) {
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo:
-      slot.stamp = ++set_stamp_[set];
+      slot.stamp = ++ScalarsIn(blk).stamp;
       break;
     case ReplacementPolicy::kTreePlru:
-      PlruTouch(set, way);
+      PlruTouch(blk, way);
       break;
     case ReplacementPolicy::kQuadAge:
-      slot.age = 1;  // inserted slightly aged, re-referenced lines go to 0
+      // Inserted slightly aged; re-referenced lines go back to 0.
+      AgesIn(blk)[way] = 1;
       break;
     case ReplacementPolicy::kRandom:
       break;
   }
-  way_hint_[set] = static_cast<uint8_t>(way);
+  ScalarsIn(blk).way_hint = static_cast<uint8_t>(way);
   if (out_line != nullptr) {
     *out_line = &slot;
   }
@@ -176,33 +193,38 @@ SetAssocCache::Victim SetAssocCache::Insert(uint64_t line_addr, bool dirty,
 }
 
 bool SetAssocCache::Remove(uint64_t line_addr, CacheLineMeta* was) {
-  const uint64_t set = SetIndexOf(line_addr);
-  const uint32_t w = FindWay(set, line_addr);
+  unsigned char* blk = Block(SetIndexOf(line_addr));
+  const uint32_t w = FindWayIn(blk, line_addr);
   if (w == kWayNone) {
     return false;
   }
-  CacheLineMeta& line = SetBase(set)[w];
+  CacheLineMeta& line = MetaIn(blk)[w];
   if (was != nullptr) {
     *was = line;
   }
   line = CacheLineMeta{};
-  tags_[set * config_.ways + w] = kInvalidTag;
-  --valid_count_[set];
+  TagsIn(blk)[w] = kInvalidTag;
+  AgesIn(blk)[w] = 0;
+  --ScalarsIn(blk).valid_count;
   return true;
 }
 
 void SetAssocCache::AgeLine(uint64_t line_addr) {
-  CacheLineMeta* line = Probe(line_addr);
-  if (line == nullptr) {
+  unsigned char* blk = Block(SetIndexOf(line_addr));
+  const uint32_t w = FindWayIn(blk, line_addr);
+  if (w == kWayNone) {
     return;
   }
+  // The pre-SetBlock implementation looked the line up with Probe, which
+  // caches the hit way; keep that hint behaviour identical.
+  ScalarsIn(blk).way_hint = static_cast<uint8_t>(w);
   switch (config_.policy) {
     case ReplacementPolicy::kQuadAge:
-      line->age = 3;
+      AgesIn(blk)[w] = 3;
       break;
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo:
-      line->stamp = 0;
+      MetaIn(blk)[w].stamp = 0;
       break;
     case ReplacementPolicy::kTreePlru:
     case ReplacementPolicy::kRandom:
@@ -212,10 +234,13 @@ void SetAssocCache::AgeLine(uint64_t line_addr) {
 
 std::vector<uint64_t> SetAssocCache::ValidLines() const {
   std::vector<uint64_t> out;
-  out.reserve(lines_.size());
-  for (const auto& line : lines_) {
-    if (line.valid) {
-      out.push_back(line.line_addr);
+  out.reserve(num_sets_ * config_.ways);
+  for (uint64_t set = 0; set < num_sets_; ++set) {
+    const CacheLineMeta* meta = MetaOf(set);
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+      if (meta[w].valid) {
+        out.push_back(meta[w].line_addr);
+      }
     }
   }
   return out;

@@ -14,6 +14,20 @@
 // access sequence the victim choices are bit-identical to the unsharded
 // cache (the determinism guard in tests/sim_determinism_test.cc relies on
 // this).
+//
+// SetBlock layout (DESIGN.md §14): every set is ONE contiguous,
+// kSetBlockAlign-aligned block —
+//
+//   offset 0                    32           32+8w        SetBlockHeaderBytes
+//   | SetScalars (32 B)         | tags[ways] | ages[ways] | pad | meta[ways]
+//   | plru,stamp,rng,hint,valid | 8 B/way    | 1 B/way    |     | 32 B/way
+//
+// so one lookup touches one or two host lines (header + the hit way's meta)
+// instead of striding across five parallel arrays. The layout is a pure
+// host-side transform: replacement decisions, RNG draw order and every
+// simulated outcome are bit-identical to the old parallel-array form
+// (pinned by tests/cache_layout_equiv_test.cc against the reference
+// implementation in src/sim/reference_cache.h).
 #ifndef SRC_SIM_CACHE_H_
 #define SRC_SIM_CACHE_H_
 
@@ -21,6 +35,7 @@
 #include <vector>
 
 #include "src/sim/config.h"
+#include "src/util/fastdiv.h"
 
 namespace prestore {
 
@@ -35,10 +50,17 @@ struct CacheLineMeta {
   // LLC-only directory info for the private L1s above it.
   uint8_t owner = kNoOwner;  // core holding the line Modified in its L1
   uint64_t sharers = 0;      // bitmask of cores with an L1 copy
-  // Replacement metadata.
-  uint8_t age = 0;      // kQuadAge
-  uint64_t stamp = 0;   // kLru (last touch) / kFifo (fill order)
+  // Replacement metadata. The kQuadAge age lives in the SetBlock header's
+  // packed age array, not here, so victim scans stay within the header.
+  uint64_t stamp = 0;  // kLru (last touch) / kFifo (fill order)
 };
+
+// The SetBlock budget maths in CacheConfig::Validate assumes this exact
+// record size; a field added here must bump kSetBlockMetaBytes with it.
+static_assert(sizeof(CacheLineMeta) == kSetBlockMetaBytes,
+              "CacheLineMeta size drifted from kSetBlockMetaBytes");
+static_assert(alignof(CacheLineMeta) <= kSetBlockAlign,
+              "CacheLineMeta over-aligned for the SetBlock layout");
 
 class SetAssocCache {
  public:
@@ -62,11 +84,13 @@ class SetAssocCache {
   SetAssocCache(const CacheConfig& config, uint64_t seed, uint64_t shard,
                 uint64_t stride);
 
-  // Set index of `line_addr` in the full logical cache.
+  // Set index of `line_addr` in the full logical cache. Power-of-two set
+  // counts mask; irregular ones use the precomputed magic-multiply
+  // reciprocal instead of a hardware divide.
   uint64_t GlobalSetOf(uint64_t line_addr) const {
     const uint64_t frame = line_addr >> line_shift_;
     return global_set_mask_ != 0 ? (frame & global_set_mask_)
-                                 : frame % global_sets_;
+                                 : set_mod_.Mod(frame);
   }
 
   // Index into this instance's sets (== GlobalSetOf for a whole cache). The
@@ -75,52 +99,64 @@ class SetAssocCache {
     return GlobalSetOf(line_addr) >> stride_shift_;
   }
 
-  // Host-side prefetch of the set's lookup structures (packed tags and the
-  // way metadata an ensuing Probe/Touch/Insert will dereference). A pure
-  // hardware hint: no simulated or replacement state changes, safe to call
-  // for any line regardless of residency or locking.
+  // Host-side prefetch of the set's SetBlock base line — scalars plus the
+  // leading tags, i.e. everything a hinted lookup reads — and the hinted
+  // way's metadata record, the line a hit will dereference. Skewed access
+  // streams re-hit hot ways far more often than 1/ways, so the two lines
+  // cover the common case; a hint miss pulls the remaining tag lines on
+  // demand (they are adjacent in the same block, unlike the old parallel
+  // arrays). A pure hardware hint: no simulated or replacement state
+  // changes, safe to call for any line regardless of residency or locking.
   void PrefetchSet(uint64_t line_addr) const {
-    const uint64_t set = SetIndexOf(line_addr);
-    const uint64_t* tags = &tags_[set * config_.ways];
-    for (uint32_t b = 0; b < config_.ways * sizeof(*tags); b += 64) {
-      __builtin_prefetch(reinterpret_cast<const char*>(tags) + b, 0, 2);
-    }
-    // The way metadata spans too many host lines to pull wholesale; the
-    // set's last-hit way is the one a hit will dereference far more often
-    // than 1/ways (skewed access streams re-hit hot ways), so warm that.
-    const uint8_t hint = way_hint_[set];
+    const unsigned char* blk = Block(SetIndexOf(line_addr));
+    __builtin_prefetch(blk, 0, 2);
+    const uint8_t hint = ScalarsIn(blk).way_hint;
     if (hint != kNoHint) {
-      __builtin_prefetch(&lines_[set * config_.ways + hint], 1, 2);
+      __builtin_prefetch(blk + meta_offset_ + hint * sizeof(CacheLineMeta), 1,
+                         2);
     }
   }
 
   // Probe without updating replacement state. Returns nullptr on miss.
   // (Defined inline below — FindWay dominates every simulated access.)
+  //
+  // DELIBERATE asymmetry with the const overload: a non-const Probe caches
+  // the hit way in the set's way hint (a pure host-side accelerator — at
+  // most one way can match a line, so the hint cannot change any simulated
+  // outcome), while the const overload is Peek and never writes anything.
   CacheLineMeta* Probe(uint64_t line_addr) {
-    const uint64_t set = SetIndexOf(line_addr);
-    const uint32_t w = FindWay(set, line_addr);
+    unsigned char* blk = Block(SetIndexOf(line_addr));
+    const uint32_t w = FindWayIn(blk, line_addr);
     if (w == kWayNone) {
       return nullptr;
     }
-    way_hint_[set] = static_cast<uint8_t>(w);
-    return &SetBase(set)[w];
+    ScalarsIn(blk).way_hint = static_cast<uint8_t>(w);
+    return &MetaIn(blk)[w];
+  }
+
+  // Read-only probe: never updates the way hint (or any other state), so
+  // observers — DirtBuster residency checks, the region monitor's pull
+  // probes — can't perturb hint state, and therefore host-side lookup
+  // behaviour, by accident.
+  const CacheLineMeta* Peek(uint64_t line_addr) const {
+    const unsigned char* blk = Block(SetIndexOf(line_addr));
+    const uint32_t w = FindWayIn(blk, line_addr);
+    return w == kWayNone ? nullptr : &MetaIn(blk)[w];
   }
   const CacheLineMeta* Probe(uint64_t line_addr) const {
-    const uint64_t set = SetIndexOf(line_addr);
-    const uint32_t w = FindWay(set, line_addr);
-    return w == kWayNone ? nullptr : &SetBase(set)[w];
+    return Peek(line_addr);
   }
 
   // Probe and, on a hit, mark the line most-recently-used.
   CacheLineMeta* Touch(uint64_t line_addr) {
-    const uint64_t set = SetIndexOf(line_addr);
-    const uint32_t w = FindWay(set, line_addr);
+    unsigned char* blk = Block(SetIndexOf(line_addr));
+    const uint32_t w = FindWayIn(blk, line_addr);
     if (w == kWayNone) {
       return nullptr;
     }
-    way_hint_[set] = static_cast<uint8_t>(w);
-    TouchWay(set, w);
-    return &SetBase(set)[w];
+    ScalarsIn(blk).way_hint = static_cast<uint8_t>(w);
+    TouchWay(blk, w);
+    return &MetaIn(blk)[w];
   }
 
   // Allocates a line (which must not be present). Returns the evicted victim,
@@ -143,11 +179,19 @@ class SetAssocCache {
 
   // Direct access to one owned set's way array (FlushAll, diagnostics).
   // External locking rules apply, as for Probe.
-  CacheLineMeta* SetData(uint64_t set) { return SetBase(set); }
-  const CacheLineMeta* SetData(uint64_t set) const { return SetBase(set); }
+  CacheLineMeta* SetData(uint64_t set) { return MetaOf(set); }
+  const CacheLineMeta* SetData(uint64_t set) const { return MetaOf(set); }
 
   // Enumerate valid lines (diagnostics / tests), set-major way-minor.
   std::vector<uint64_t> ValidLines() const;
+
+  // The set's last-hit way, 0xff when unset (tests / diagnostics only — the
+  // hint is host-side state and not part of any simulated outcome).
+  uint8_t DebugWayHint(uint64_t set) const { return ScalarsOf(set).way_hint; }
+  // The packed kQuadAge age of (set, way) (tests / diagnostics only).
+  uint8_t DebugAge(uint64_t set, uint32_t way) const {
+    return AgesIn(Block(set))[way];
+  }
 
  private:
   static constexpr uint32_t kWayNone = ~0u;
@@ -156,25 +200,86 @@ class SetAssocCache {
   // all-ones pattern can never collide with a real line.
   static constexpr uint64_t kInvalidTag = ~0ULL;
 
-  CacheLineMeta* SetBase(uint64_t set) { return &lines_[set * config_.ways]; }
-  const CacheLineMeta* SetBase(uint64_t set) const {
-    return &lines_[set * config_.ways];
-  }
+  // Per-set scalar replacement state, packed into the first half host line
+  // of the SetBlock so the tag scan and the hint/stamp/RNG updates share
+  // one line fill.
+  struct SetScalars {
+    uint64_t plru_bits = 0;  // kTreePlru internal tree bits
+    uint64_t stamp = 0;      // kLru/kFifo monotonic stamp counter
+    uint64_t rng = 0;        // per-set xorshift64 victim-RNG state
+    uint8_t way_hint = kNoHint;
+    uint8_t valid_count = 0;
+    uint8_t pad[6] = {};
+  };
+  static_assert(sizeof(SetScalars) == kSetBlockScalarBytes,
+                "SetScalars size drifted from kSetBlockScalarBytes");
 
-  // The single lookup primitive both Probe overloads and Touch share: way
-  // holding `line_addr` in `set`, or kWayNone. Scans the packed per-set tag
-  // array — one contiguous u64 per way, invalid ways hold kInvalidTag — so
-  // the common miss costs `ways` adjacent compares instead of striding
-  // through the 40-byte metadata structs. Checks the set's last-hit way
-  // first — at most one way can match a line address, so the hint is a pure
-  // accelerator and cannot change any outcome.
-  uint32_t FindWay(uint64_t set, uint64_t line_addr) const {
-    const uint64_t* tags = &tags_[set * config_.ways];
-    const uint8_t hint = way_hint_[set];
+  // 64-byte chunks give the vector's buffer the block alignment; all block
+  // offsets are multiples of kSetBlockAlign so per-set pointers stay
+  // aligned too.
+  struct alignas(kSetBlockAlign) Chunk {
+    unsigned char bytes[kSetBlockAlign];
+  };
+
+  // Block accessors. The vector never reallocates after construction, and
+  // a moved-from vector hands its buffer over, so recomputing from data()
+  // is always correct (and free: one load).
+  unsigned char* Block(uint64_t set) const {
+    auto* base =
+        reinterpret_cast<unsigned char*>(const_cast<Chunk*>(blocks_.data()));
+    return base + set * block_bytes_;
+  }
+  static SetScalars& ScalarsIn(unsigned char* blk) {
+    return *reinterpret_cast<SetScalars*>(blk);
+  }
+  static const SetScalars& ScalarsIn(const unsigned char* blk) {
+    return *reinterpret_cast<const SetScalars*>(blk);
+  }
+  static uint64_t* TagsIn(unsigned char* blk) {
+    return reinterpret_cast<uint64_t*>(blk + sizeof(SetScalars));
+  }
+  static const uint64_t* TagsIn(const unsigned char* blk) {
+    return reinterpret_cast<const uint64_t*>(blk + sizeof(SetScalars));
+  }
+  // Packed kQuadAge ages, one byte per way, right after the tags.
+  uint8_t* AgesIn(unsigned char* blk) const { return blk + ages_offset_; }
+  const uint8_t* AgesIn(const unsigned char* blk) const {
+    return blk + ages_offset_;
+  }
+  CacheLineMeta* MetaIn(unsigned char* blk) const {
+    return reinterpret_cast<CacheLineMeta*>(blk + meta_offset_);
+  }
+  const CacheLineMeta* MetaIn(const unsigned char* blk) const {
+    return reinterpret_cast<const CacheLineMeta*>(blk + meta_offset_);
+  }
+  SetScalars& ScalarsOf(uint64_t set) const { return ScalarsIn(Block(set)); }
+  CacheLineMeta* MetaOf(uint64_t set) const { return MetaIn(Block(set)); }
+
+  // The single lookup primitive Probe/Peek/Touch share: way holding
+  // `line_addr` in the set whose block is `blk`, or kWayNone. Checks the
+  // set's last-hit way first — at most one way can match a line address, so
+  // the hint is a pure accelerator and cannot change any outcome — then
+  // scans the packed tag array four ways at a time, accumulating compare
+  // results into a mask so the loop body is branch-free until a match
+  // exists (invalid ways hold kInvalidTag and never match).
+  uint32_t FindWayIn(const unsigned char* blk, uint64_t line_addr) const {
+    const uint64_t* tags = TagsIn(blk);
+    const uint8_t hint = ScalarsIn(blk).way_hint;
     if (hint != kNoHint && tags[hint] == line_addr) {
       return hint;
     }
-    for (uint32_t w = 0; w < config_.ways; ++w) {
+    const uint32_t ways = config_.ways;
+    uint32_t w = 0;
+    for (; w + 4 <= ways; w += 4) {
+      const uint32_t mask = (tags[w] == line_addr ? 1u : 0u) |
+                            (tags[w + 1] == line_addr ? 2u : 0u) |
+                            (tags[w + 2] == line_addr ? 4u : 0u) |
+                            (tags[w + 3] == line_addr ? 8u : 0u);
+      if (mask != 0) {
+        return w + static_cast<uint32_t>(__builtin_ctz(mask));
+      }
+    }
+    for (; w < ways; ++w) {
       if (tags[w] == line_addr) {
         return w;
       }
@@ -183,16 +288,16 @@ class SetAssocCache {
   }
 
   // Replacement-state update for a hit (inline: runs on every cache hit).
-  void TouchWay(uint64_t set, uint32_t way) {
+  void TouchWay(unsigned char* blk, uint32_t way) {
     switch (config_.policy) {
       case ReplacementPolicy::kLru:
-        SetBase(set)[way].stamp = ++set_stamp_[set];
+        MetaIn(blk)[way].stamp = ++ScalarsIn(blk).stamp;
         break;
       case ReplacementPolicy::kTreePlru:
-        PlruTouch(set, way);
+        PlruTouch(blk, way);
         break;
       case ReplacementPolicy::kQuadAge:
-        SetBase(set)[way].age = 0;
+        AgesIn(blk)[way] = 0;
         break;
       case ReplacementPolicy::kFifo:
       case ReplacementPolicy::kRandom:
@@ -200,13 +305,13 @@ class SetAssocCache {
     }
   }
 
-  uint32_t PickVictim(uint64_t set);
+  uint32_t PickVictim(unsigned char* blk);
 
   // Tree-PLRU helpers (ways must be a power of two).
-  void PlruTouch(uint64_t set, uint32_t way) {
+  void PlruTouch(unsigned char* blk, uint32_t way) {
     // Classic binary-tree pseudo-LRU: flip internal nodes to point away
     // from the touched way. Node 1 is the root; leaves correspond to ways.
-    uint64_t bits = plru_bits_[set];
+    uint64_t bits = ScalarsIn(blk).plru_bits;
     uint32_t node = 1;
     uint32_t span = config_.ways;
     while (span > 1) {
@@ -219,11 +324,11 @@ class SetAssocCache {
       }
       node = node * 2 + (right ? 1 : 0);
     }
-    plru_bits_[set] = bits;
+    ScalarsIn(blk).plru_bits = bits;
   }
-  uint32_t PlruVictim(uint64_t set) const;
+  uint32_t PlruVictim(const unsigned char* blk) const;
 
-  uint64_t NextRand(uint64_t set);
+  uint64_t NextRand(unsigned char* blk);
 
   CacheConfig config_;
   uint64_t global_sets_;
@@ -233,18 +338,17 @@ class SetAssocCache {
   uint64_t global_set_mask_;  // global_sets_ - 1 when a power of two, else 0
   uint32_t stride_shift_;     // log2(stride)
   uint64_t shard_;
+  // Remainder by global_sets_ for the non-power-of-two fallback.
+  ModReciprocal set_mod_;
 
-  std::vector<CacheLineMeta> lines_;
-  // Packed lookup tags, mirroring lines_[i].line_addr (kInvalidTag when the
-  // way is invalid). Kept in sync by Insert/Remove; FindWay scans only this.
-  std::vector<uint64_t> tags_;
-  std::vector<uint64_t> plru_bits_;   // one word per set
-  std::vector<uint64_t> set_stamp_;   // per-set monotonic counter
-  std::vector<uint64_t> set_rng_;     // per-set xorshift state
-  std::vector<uint8_t> way_hint_;     // per-set last-hit way (kNoHint = none)
-  // Valid ways per set: lets PickVictim skip the invalid-way scan once a
-  // set is full (the steady state for every warm set).
-  std::vector<uint8_t> valid_count_;
+  // SetBlock geometry (see config.h): ages_offset_ = scalars + tags,
+  // meta_offset_ = SetBlockHeaderBytes, block_bytes_ = SetBlockBytes (the
+  // latter two multiples of kSetBlockAlign).
+  uint64_t ages_offset_ = 0;
+  uint64_t meta_offset_ = 0;
+  uint64_t block_bytes_ = 0;
+  // num_sets_ * block_bytes_ bytes of set blocks, in set order.
+  std::vector<Chunk> blocks_;
 };
 
 }  // namespace prestore

@@ -20,6 +20,15 @@ void CacheConfig::Validate(const char* what) const {
     Invalid(what, "line_size must be a nonzero power of two, got " +
                       std::to_string(line_size));
   }
+  if (ways != 0 && SetBlockBytes(ways) > kSetBlockMaxBytes) {
+    // The per-set metadata block (scalar header + packed tags + per-way
+    // CacheLineMeta, cache.h) must stay within one host page or the
+    // colocated layout stops buying anything.
+    Invalid(what, "ways " + std::to_string(ways) + " needs a " +
+                      std::to_string(SetBlockBytes(ways)) +
+                      "B SetBlock, over the " +
+                      std::to_string(kSetBlockMaxBytes) + "B per-set budget");
+  }
   if (ways == 0 || ways > 64) {
     // kQuadAge's PickVictim gathers eviction candidates into a fixed
     // uint32_t[64]; one slot per way, so >64 ways would overflow it.

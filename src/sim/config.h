@@ -20,6 +20,38 @@ enum class ReplacementPolicy : uint8_t {
   kQuadAge,
 };
 
+// ---- SetBlock layout (src/sim/cache.h, DESIGN.md §14) ----
+// SetAssocCache stores each set as ONE contiguous, kSetBlockAlign-aligned
+// block: a fixed scalar header (PLRU bits, stamp counter, RNG state, way
+// hint, valid count), the packed way tags (8 B per way), the packed
+// replacement ages (1 B per way — kQuadAge victim scans never leave the
+// header), padding up to the alignment, then the per-way CacheLineMeta
+// records (32 B per way — static_asserted against sizeof(CacheLineMeta) in
+// cache.h). The sizes are published here so CacheConfig::Validate can
+// reject geometries whose block would blow the per-set budget before a
+// cache is ever built.
+inline constexpr uint64_t kSetBlockAlign = 64;
+inline constexpr uint64_t kSetBlockScalarBytes = 32;
+inline constexpr uint64_t kSetBlockTagBytes = 8;
+inline constexpr uint64_t kSetBlockAgeBytes = 1;
+inline constexpr uint64_t kSetBlockMetaBytes = 32;
+// One host page per set block. Anything larger defeats the point of the
+// layout (a lookup should touch one or two host lines, not a page walk).
+inline constexpr uint64_t kSetBlockMaxBytes = 4096;
+
+constexpr uint64_t SetBlockAlignUp(uint64_t v) {
+  return (v + kSetBlockAlign - 1) & ~(kSetBlockAlign - 1);
+}
+// Byte offset of the CacheLineMeta array inside a SetBlock.
+constexpr uint64_t SetBlockHeaderBytes(uint32_t ways) {
+  return SetBlockAlignUp(kSetBlockScalarBytes +
+                         (kSetBlockTagBytes + kSetBlockAgeBytes) * ways);
+}
+// Total bytes of one SetBlock (also the stride between consecutive sets).
+constexpr uint64_t SetBlockBytes(uint32_t ways) {
+  return SetBlockAlignUp(SetBlockHeaderBytes(ways) + kSetBlockMetaBytes * ways);
+}
+
 struct CacheConfig {
   uint64_t size_bytes = 0;
   uint32_t ways = 8;
@@ -32,10 +64,11 @@ struct CacheConfig {
   }
 
   // Throws std::invalid_argument (message prefixed with `what`) if the
-  // geometry is unusable: line_size must be a nonzero power of two, ways in
-  // [1, 64] (kQuadAge victim selection keeps one candidate slot per way in a
-  // fixed 64-entry buffer; more ways would silently overflow it), kTreePlru
-  // needs power-of-two ways, and the cache must hold at least one set.
+  // geometry is unusable: line_size must be a nonzero power of two, the
+  // SetBlock for `ways` must fit kSetBlockMaxBytes, ways in [1, 64]
+  // (kQuadAge victim selection keeps one candidate slot per way in a fixed
+  // 64-entry buffer; more ways would silently overflow it), kTreePlru needs
+  // power-of-two ways, and the cache must hold at least one set.
   void Validate(const char* what) const;
 };
 

@@ -758,8 +758,10 @@ void Core::Prestore(SimAddr addr, size_t size, PrestoreOp op) {
         } else {
           bool in_l1 = false;
           {
+            // Residency check only — Peek so a useless demote hint can't
+            // perturb the set's way hint.
             OptionalLockGuard lock(l1_mu_, LockFree());
-            in_l1 = l1_.Probe(line) != nullptr;
+            in_l1 = l1_.Peek(line) != nullptr;
           }
           if (in_l1) {
             PushBg(machine_->PublishLineDemote(id_, line, now_));

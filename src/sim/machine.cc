@@ -29,6 +29,7 @@ Machine::Machine(const MachineConfig& config)
   llc_set_mask_ = (llc_global_sets_ & (llc_global_sets_ - 1)) == 0
                       ? llc_global_sets_ - 1
                       : 0;
+  llc_set_mod_ = ModReciprocal(llc_global_sets_);
   for (uint32_t ls = config_.llc.line_size; ls > 1; ls >>= 1) {
     ++llc_line_shift_;
   }

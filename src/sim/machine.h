@@ -304,16 +304,17 @@ class Machine {
   bool LlcResident(uint64_t line_addr) {
     LlcShard& shard = ShardFor(line_addr);
     OptionalLockGuard lock(shard.mu, exclusive_execution());
-    return shard.cache->Probe(line_addr) != nullptr;
+    return shard.cache->Peek(line_addr) != nullptr;
   }
 
   // LlcResident plus the line's dirtiness — the region monitor's
   // once-per-region-per-interval pull probe. Non-mutating (no replacement
-  // touch, no stats); `*dirty` is written only on residency.
+  // touch, no way-hint update, no stats — hence Peek); `*dirty` is written
+  // only on residency.
   bool LlcProbe(uint64_t line_addr, bool* dirty) {
     LlcShard& shard = ShardFor(line_addr);
     OptionalLockGuard lock(shard.mu, exclusive_execution());
-    const CacheLineMeta* meta = shard.cache->Probe(line_addr);
+    const CacheLineMeta* meta = shard.cache->Peek(line_addr);
     if (meta == nullptr) {
       return false;
     }
@@ -392,7 +393,7 @@ class Machine {
   size_t LlcShardIndexOf(uint64_t line_addr) const {
     const uint64_t frame = line_addr >> llc_line_shift_;
     const uint64_t g = llc_set_mask_ != 0 ? (frame & llc_set_mask_)
-                                          : frame % llc_global_sets_;
+                                          : llc_set_mod_.Mod(frame);
     return g & (kNumShards - 1);
   }
   LlcShard& ShardFor(uint64_t line_addr) {
@@ -468,6 +469,9 @@ class Machine {
   std::vector<LlcShard> llc_shards_;
   uint64_t llc_global_sets_ = 0;
   uint64_t llc_set_mask_ = 0;  // llc_global_sets_ - 1 when pow2, else 0
+  // Remainder by llc_global_sets_ for the non-power-of-two fallback (same
+  // magic-multiply trick as SetAssocCache::GlobalSetOf).
+  ModReciprocal llc_set_mod_;
   uint32_t llc_line_shift_ = 0;
 
   std::vector<std::unique_ptr<Core>> cores_;

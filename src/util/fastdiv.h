@@ -1,0 +1,51 @@
+// Branch-light 64-bit remainder by a runtime-constant divisor.
+//
+// SetAssocCache maps a line's frame number to a set with `frame % sets`.
+// When the set count is a power of two that is a mask, but irregular
+// geometries (odd shard strides, scaled-down cache sizes) fall back to a
+// hardware 64-bit divide — 20-40 unpipelined cycles on every simulated
+// access. ModReciprocal precomputes a magic-multiply reciprocal once per
+// cache so the remainder costs one widening multiply, one multiply-subtract
+// and one conditional subtract instead.
+#ifndef SRC_UTIL_FASTDIV_H_
+#define SRC_UTIL_FASTDIV_H_
+
+#include <cstdint>
+
+namespace prestore {
+
+// Exact `n % d` for ALL 64-bit n and any divisor d >= 1 via a precomputed
+// reciprocal. Unlike the Lemire fastmod trick (exact only for bounded n),
+// this quotient-based form needs no restriction on n:
+//
+//   magic = floor((2^64 - 1) / d), so 2^64 - 1 = magic*d + t with t < d.
+//   For q = floor(n * magic / 2^64):
+//     n*magic/2^64 = n/d - n*(1 + t)/(d * 2^64)  and  (1 + t) <= d,
+//   so n*magic/2^64 > n/d - n/2^64 > n/d - 1, while q <= n/d. Hence
+//   q is floor(n/d) or floor(n/d) - 1, r = n - q*d lies in [0, 2d), and a
+//   single conditional subtract lands it in [0, d).
+class ModReciprocal {
+ public:
+  // Divisor 1 (everything reduces to 0) so a default-constructed instance
+  // is usable; callers that mask power-of-two divisors themselves never
+  // consult it.
+  ModReciprocal() = default;
+  explicit ModReciprocal(uint64_t d) : d_(d), magic_(~uint64_t{0} / d) {}
+
+  uint64_t Mod(uint64_t n) const {
+    const uint64_t q = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(n) * magic_) >> 64);
+    const uint64_t r = n - q * d_;
+    return r >= d_ ? r - d_ : r;
+  }
+
+  uint64_t divisor() const { return d_; }
+
+ private:
+  uint64_t d_ = 1;
+  uint64_t magic_ = ~uint64_t{0};
+};
+
+}  // namespace prestore
+
+#endif  // SRC_UTIL_FASTDIV_H_

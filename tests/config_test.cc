@@ -111,5 +111,37 @@ TEST(CacheConfigValidate, RejectsSizeWithoutOneFullSet) {
   EXPECT_THROW(c.Validate("l1"), std::invalid_argument);
 }
 
+TEST(CacheConfigValidate, RejectsSetBlockOverBudget) {
+  CacheConfig c = MachineA().llc;
+  // 100 ways: header AlignUp(32 + 900) = 960, block 960 + 100*32 -> 4160 B,
+  // over the 4096 B per-set budget. (65..96 ways still fit the block budget
+  // and are caught by the candidate-buffer rule instead.)
+  c.ways = 100;
+  c.size_bytes = 100 * 64 * 16;  // keep at least one complete set
+  ASSERT_GT(SetBlockBytes(c.ways), kSetBlockMaxBytes);
+  try {
+    c.Validate("llc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("SetBlock"), std::string::npos)
+        << e.what();
+  }
+  // The largest legal way count fits the budget with room to spare.
+  EXPECT_LE(SetBlockBytes(64), kSetBlockMaxBytes);
+}
+
+TEST(CacheConfigValidate, SetBlockGeometryMatchesLayoutRules) {
+  // The helpers are the single source of truth for the block layout; pin
+  // the arithmetic for the preset geometries (DESIGN.md §14).
+  EXPECT_EQ(SetBlockHeaderBytes(8), 128u);   // 32 + 8*(8+1) -> 128
+  EXPECT_EQ(SetBlockBytes(8), 384u);         // 128 + 8*32 -> 384
+  EXPECT_EQ(SetBlockHeaderBytes(16), 192u);  // 32 + 16*(8+1) -> 192
+  EXPECT_EQ(SetBlockBytes(16), 704u);        // 192 + 16*32 -> 704
+  for (uint32_t ways : {1u, 4u, 8u, 16u, 64u}) {
+    EXPECT_EQ(SetBlockHeaderBytes(ways) % kSetBlockAlign, 0u) << ways;
+    EXPECT_EQ(SetBlockBytes(ways) % kSetBlockAlign, 0u) << ways;
+  }
+}
+
 }  // namespace
 }  // namespace prestore

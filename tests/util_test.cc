@@ -2,7 +2,9 @@
 
 #include <set>
 #include <sstream>
+#include <vector>
 
+#include "src/util/fastdiv.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -164,6 +166,33 @@ TEST(Log2Histogram, PercentileBucket) {
   }
   EXPECT_EQ(h.PercentileBucket(50), 3);
   EXPECT_EQ(h.PercentileBucket(99), 11);
+}
+
+// ModReciprocal must reproduce the hardware remainder exactly: the cache
+// set-index fallback (SetAssocCache::GlobalSetOf, Machine::LlcShardIndexOf)
+// substitutes it for `%` on every simulated access.
+TEST(FastDiv, MatchesHardwareRemainderRandomized) {
+  Xoshiro256 rng(0xd1f1d3);
+  // Divisor mix: small, non-power-of-two set counts (the real use case),
+  // powers of two, and random wide values.
+  std::vector<uint64_t> divisors = {1, 2, 3, 5, 7, 48, 96, 640, 1000, 4096};
+  for (int i = 0; i < 20; ++i) {
+    divisors.push_back(rng.Next() | 1);
+    divisors.push_back((rng.Next() % 100000) + 1);
+  }
+  for (const uint64_t d : divisors) {
+    const ModReciprocal m(d);
+    EXPECT_EQ(m.divisor(), d);
+    for (const uint64_t n :
+         {uint64_t{0}, uint64_t{1}, d - 1, d, d + 1, 2 * d, ~uint64_t{0},
+          ~uint64_t{0} - 1, uint64_t{1} << 63}) {
+      EXPECT_EQ(m.Mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+    for (int j = 0; j < 1000; ++j) {
+      const uint64_t n = rng.Next();
+      ASSERT_EQ(m.Mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+  }
 }
 
 TEST(TextTable, FormatsAlignedColumns) {

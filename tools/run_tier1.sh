@@ -64,6 +64,21 @@ echo "==> sim-throughput smoke (bench_sim_throughput --quick --mode=both)"
 ./build/bench/bench_sim_throughput --quick --mode=both \
   --out=build/BENCH_sim_throughput_smoke.json >/dev/null
 
+# Cache-layout smoke: the SetBlock cache against the preserved reference
+# implementation (bench_cache_lookup exits non-zero if its randomized
+# self-check sees any divergence), plus the recorded golden digest -- the
+# engine-level proof that the layout refactor changed no simulated outcome.
+echo "==> cache-layout smoke (bench_cache_lookup --quick)"
+./build/bench/bench_cache_lookup --quick \
+  --out=build/BENCH_cache_lookup_smoke.json >/dev/null
+gd=$(./build/tools/sim_throughput_cli --workers=4 --ops=20000 --keys=2048 \
+  --shared-keys=512 --shared-fraction=0.25 --theta=0 --seed=42 --digest \
+  | grep '^digest=')
+if [[ "${gd}" != "digest=ca074689a0e38784" ]]; then
+  echo "golden determinism digest changed: ${gd}" >&2
+  exit 1
+fi
+
 # Sliced-scheduler CLI smoke: same trace on 2 vs 3 host threads must print
 # the same machine digest, and quantum=0 must be rejected.
 echo "==> sliced scheduler smoke (sim_throughput_cli --scheduler=sliced)"
@@ -116,6 +131,11 @@ if [[ "${FAST}" == "0" ]]; then
   echo "==> sim-throughput smoke (sanitized build, --mode=both)"
   ./build-sanitize/bench/bench_sim_throughput --quick --mode=both \
     --out=build-sanitize/BENCH_sim_throughput_smoke.json >/dev/null
+  # The SetBlock placement-new lifetimes and packed-age pointer arithmetic
+  # under ASan+UBSan, via the same randomized reference self-check.
+  echo "==> cache-layout smoke (sanitized build)"
+  ./build-sanitize/bench/bench_cache_lookup --quick \
+    --out=build-sanitize/BENCH_cache_lookup_smoke.json >/dev/null
   # Monitor gates under ASan+UBSan: the sampling hot path, split/merge
   # bookkeeping, and the advisor locking run the same quick sweep.
   echo "==> monitor smoke (sanitized build)"
