@@ -3,6 +3,7 @@
 #include <cassert>
 #include <new>
 
+#include "src/util/hugepage.h"
 #include "src/util/rng.h"
 
 namespace prestore {
@@ -40,9 +41,18 @@ SetAssocCache::SetAssocCache(const CacheConfig& config, uint64_t seed,
   // One contiguous SetBlock per owned set (layout constants validated
   // against kSetBlockMaxBytes above). Chunk{} zero-fills, which already
   // initializes the packed age bytes.
+  way_mod_.reserve(config_.ways + 1);
+  for (uint64_t n = 0; n <= config_.ways; ++n) {
+    way_mod_.emplace_back(n == 0 ? 1 : n);
+  }
   ages_offset_ = kSetBlockScalarBytes + kSetBlockTagBytes * config_.ways;
   meta_offset_ = SetBlockHeaderBytes(config_.ways);
   block_bytes_ = SetBlockBytes(config_.ways);
+  // Advise huge pages before the fill below touches anything, so a large
+  // cache's blocks fault in as 2 MiB pages (random set indexing on 4 KiB
+  // pages pays a page walk per simulated access).
+  blocks_.reserve(num_sets_ * block_bytes_ / kSetBlockAlign);
+  AdviseHugePages(blocks_.data(), blocks_.capacity() * sizeof(Chunk));
   blocks_.assign(num_sets_ * block_bytes_ / kSetBlockAlign, Chunk{});
   for (uint64_t set = 0; set < num_sets_; ++set) {
     unsigned char* blk = Block(set);
@@ -66,16 +76,6 @@ SetAssocCache::SetAssocCache(const CacheConfig& config, uint64_t seed,
   }
 }
 
-uint64_t SetAssocCache::NextRand(unsigned char* blk) {
-  // xorshift64: cheap per-set deterministic randomness for victim choice.
-  uint64_t x = ScalarsIn(blk).rng;
-  x ^= x << 13;
-  x ^= x >> 7;
-  x ^= x << 17;
-  ScalarsIn(blk).rng = x;
-  return x;
-}
-
 uint32_t SetAssocCache::PlruVictim(const unsigned char* blk) const {
   const uint64_t bits = ScalarsIn(blk).plru_bits;
   uint32_t node = 1;
@@ -90,106 +90,6 @@ uint32_t SetAssocCache::PlruVictim(const unsigned char* blk) const {
     node = node * 2 + (go_right ? 1 : 0);
   }
   return way;
-}
-
-uint32_t SetAssocCache::PickVictim(unsigned char* blk) {
-  CacheLineMeta* base = MetaIn(blk);
-  // Invalid ways first. Warm sets are full, so the scan is skipped for them
-  // (valid_count tracks exactly how many ways hold a line).
-  if (ScalarsIn(blk).valid_count < config_.ways) {
-    const uint64_t* tags = TagsIn(blk);
-    for (uint32_t w = 0; w < config_.ways; ++w) {
-      if (tags[w] == kInvalidTag) {
-        return w;
-      }
-    }
-  }
-  switch (config_.policy) {
-    case ReplacementPolicy::kLru:
-    case ReplacementPolicy::kFifo: {
-      uint32_t victim = 0;
-      for (uint32_t w = 1; w < config_.ways; ++w) {
-        if (base[w].stamp < base[victim].stamp) {
-          victim = w;
-        }
-      }
-      return victim;
-    }
-    case ReplacementPolicy::kTreePlru:
-      return PlruVictim(blk);
-    case ReplacementPolicy::kRandom:
-      return static_cast<uint32_t>(NextRand(blk) % config_.ways);
-    case ReplacementPolicy::kQuadAge: {
-      // Intel-style pseudo-LRU: pick randomly among the oldest (age 3) lines;
-      // if none has reached age 3, age every line until one does. This is
-      // what makes evictions look "random" to software (§4.1). The candidate
-      // buffer holds one slot per way; CacheConfig::Validate caps ways at 64.
-      // The whole scan-and-age loop runs on the header's packed age bytes —
-      // it never touches the meta records.
-      uint8_t* ages = AgesIn(blk);
-      while (true) {
-        uint32_t candidates[64];
-        uint32_t n = 0;
-        for (uint32_t w = 0; w < config_.ways; ++w) {
-          if (ages[w] >= 3) {
-            candidates[n++] = w;
-          }
-        }
-        if (n > 0) {
-          return candidates[NextRand(blk) % n];
-        }
-        for (uint32_t w = 0; w < config_.ways; ++w) {
-          ++ages[w];
-        }
-      }
-    }
-  }
-  return 0;
-}
-
-SetAssocCache::Victim SetAssocCache::Insert(uint64_t line_addr, bool dirty,
-                                            CacheLineMeta** out_line) {
-  unsigned char* blk = Block(SetIndexOf(line_addr));
-  const uint32_t way = PickVictim(blk);
-  CacheLineMeta& slot = MetaIn(blk)[way];
-
-  Victim victim;
-  if (slot.valid) {
-    victim.valid = true;
-    victim.line_addr = slot.line_addr;
-    victim.dirty = slot.dirty;
-    victim.owner = slot.owner;
-    victim.sharers = slot.sharers;
-  } else {
-    ++ScalarsIn(blk).valid_count;
-  }
-
-  TagsIn(blk)[way] = line_addr;
-  AgesIn(blk)[way] = 0;
-  slot = CacheLineMeta{};
-  slot.line_addr = line_addr;
-  slot.valid = true;
-  slot.dirty = dirty;
-  switch (config_.policy) {
-    case ReplacementPolicy::kLru:
-    case ReplacementPolicy::kFifo:
-      slot.stamp = ++ScalarsIn(blk).stamp;
-      break;
-    case ReplacementPolicy::kTreePlru:
-      PlruTouch(blk, way);
-      break;
-    case ReplacementPolicy::kQuadAge:
-      // Inserted slightly aged; re-referenced lines go back to 0.
-      AgesIn(blk)[way] = 1;
-      break;
-    case ReplacementPolicy::kRandom:
-      break;
-  }
-  ScalarsIn(blk).way_hint = static_cast<uint8_t>(way);
-  if (out_line != nullptr) {
-    *out_line = &slot;
-  }
-  return victim;
 }
 
 bool SetAssocCache::Remove(uint64_t line_addr, CacheLineMeta* was) {

@@ -117,6 +117,71 @@ class SetAssocCache {
     }
   }
 
+  // Host-side prefetch of the SetBlock header (scalars, tags, ages) by
+  // raw address arithmetic — reads NOTHING from the block, so it can be
+  // issued for a stone-cold set without stalling the issuing op. No
+  // simulated or replacement state changes; safe for any line regardless
+  // of residency. Pure hardware hint, like PrefetchSet.
+  void PrefetchSetHeader(uint64_t line_addr) const {
+    const unsigned char* blk = Block(SetIndexOf(line_addr));
+    for (uint64_t b = 0; b < meta_offset_; b += kSetBlockAlign) {
+      __builtin_prefetch(blk + b, 1, 2);
+    }
+  }
+
+  // Host-side prefetch of the whole header plus the hinted meta record. A
+  // miss-dominated stream defeats the hinted two-line PrefetchSet: the
+  // full tag scan a miss performs walks every tag line, and each uncovered
+  // line is a dependent host-memory stall. Callers gate it on an observed
+  // miss-heavy phase so hit-dominated streams keep the cheap variant.
+  // Pure hardware hint, like PrefetchSet.
+  void PrefetchSetAll(uint64_t line_addr) const {
+    const unsigned char* blk = Block(SetIndexOf(line_addr));
+    for (uint64_t b = 0; b < meta_offset_; b += kSetBlockAlign) {
+      __builtin_prefetch(blk + b, 1, 2);
+    }
+    const uint8_t hint = ScalarsIn(blk).way_hint;
+    if (hint != kNoHint) {
+      __builtin_prefetch(blk + meta_offset_ + hint * sizeof(CacheLineMeta), 1,
+                         2);
+    }
+  }
+
+  // Host-side peek at the line Insert would evict, for prefetching the
+  // victim's downstream state before the (long) device leg runs. Only
+  // policies whose victim choice is a pure function of current state can
+  // be peeked (kTreePlru, kLru, kFifo); kRandom/kQuadAge draw from the
+  // per-set RNG, which a peek must not advance, so they return nullptr
+  // (as does a set with a free way: its victim is invalid, no writeback).
+  // Const and mutation-free — a wrong or missing peek costs nothing.
+  const CacheLineMeta* PeekVictimMeta(uint64_t line_addr) const {
+    const unsigned char* blk = Block(SetIndexOf(line_addr));
+    if (ScalarsIn(blk).valid_count < config_.ways) {
+      return nullptr;
+    }
+    uint32_t way;
+    switch (config_.policy) {
+      case ReplacementPolicy::kTreePlru:
+        way = PlruVictim(blk);
+        break;
+      case ReplacementPolicy::kLru:
+      case ReplacementPolicy::kFifo: {
+        const CacheLineMeta* base = MetaIn(blk);
+        way = 0;
+        for (uint32_t w = 1; w < config_.ways; ++w) {
+          if (base[w].stamp < base[way].stamp) {
+            way = w;
+          }
+        }
+        break;
+      }
+      default:
+        return nullptr;
+    }
+    const CacheLineMeta* meta = &MetaIn(blk)[way];
+    return meta->valid ? meta : nullptr;
+  }
+
   // Probe without updating replacement state. Returns nullptr on miss.
   // (Defined inline below — FindWay dominates every simulated access.)
   //
@@ -161,7 +226,52 @@ class SetAssocCache {
 
   // Allocates a line (which must not be present). Returns the evicted victim,
   // if any. The returned reference `out_line` points at the new line's meta.
-  Victim Insert(uint64_t line_addr, bool dirty, CacheLineMeta** out_line);
+  // (Defined inline below — with PickVictim it runs on every simulated miss,
+  // and on a miss-dominated stream the pair is the hottest code after
+  // FindWay.)
+  Victim Insert(uint64_t line_addr, bool dirty, CacheLineMeta** out_line) {
+    unsigned char* blk = Block(SetIndexOf(line_addr));
+    const uint32_t way = PickVictim(blk);
+    CacheLineMeta& slot = MetaIn(blk)[way];
+
+    Victim victim;
+    if (slot.valid) {
+      victim.valid = true;
+      victim.line_addr = slot.line_addr;
+      victim.dirty = slot.dirty;
+      victim.owner = slot.owner;
+      victim.sharers = slot.sharers;
+    } else {
+      ++ScalarsIn(blk).valid_count;
+    }
+
+    TagsIn(blk)[way] = line_addr;
+    AgesIn(blk)[way] = 0;
+    slot = CacheLineMeta{};
+    slot.line_addr = line_addr;
+    slot.valid = true;
+    slot.dirty = dirty;
+    switch (config_.policy) {
+      case ReplacementPolicy::kLru:
+      case ReplacementPolicy::kFifo:
+        slot.stamp = ++ScalarsIn(blk).stamp;
+        break;
+      case ReplacementPolicy::kTreePlru:
+        PlruTouch(blk, way);
+        break;
+      case ReplacementPolicy::kQuadAge:
+        // Inserted slightly aged; re-referenced lines go back to 0.
+        AgesIn(blk)[way] = 1;
+        break;
+      case ReplacementPolicy::kRandom:
+        break;
+    }
+    ScalarsIn(blk).way_hint = static_cast<uint8_t>(way);
+    if (out_line != nullptr) {
+      *out_line = &slot;
+    }
+    return victim;
+  }
 
   // Invalidates the line if present. Returns true if it was present (and
   // fills `was` with its pre-invalidation metadata when non-null).
@@ -305,7 +415,76 @@ class SetAssocCache {
     }
   }
 
-  uint32_t PickVictim(unsigned char* blk);
+  // Victim choice for Insert. Inline for the same reason as Insert; the
+  // policy algebra is documented per-case below.
+  uint32_t PickVictim(unsigned char* blk) {
+    CacheLineMeta* base = MetaIn(blk);
+    // Invalid ways first. Warm sets are full, so the scan is skipped for
+    // them (valid_count tracks exactly how many ways hold a line).
+    if (ScalarsIn(blk).valid_count < config_.ways) {
+      const uint64_t* tags = TagsIn(blk);
+      for (uint32_t w = 0; w < config_.ways; ++w) {
+        if (tags[w] == kInvalidTag) {
+          return w;
+        }
+      }
+    }
+    switch (config_.policy) {
+      case ReplacementPolicy::kLru:
+      case ReplacementPolicy::kFifo: {
+        uint32_t victim = 0;
+        for (uint32_t w = 1; w < config_.ways; ++w) {
+          if (base[w].stamp < base[victim].stamp) {
+            victim = w;
+          }
+        }
+        return victim;
+      }
+      case ReplacementPolicy::kTreePlru:
+        return PlruVictim(blk);
+      case ReplacementPolicy::kRandom:
+        return static_cast<uint32_t>(
+            way_mod_[config_.ways].Mod(NextRand(blk)));
+      case ReplacementPolicy::kQuadAge: {
+        // Intel-style pseudo-LRU: pick randomly among the oldest (age 3)
+        // lines; if none has reached age 3, age every line until one does.
+        // This is what makes evictions look "random" to software (§4.1).
+        // The candidate buffer holds one slot per way; CacheConfig::
+        // Validate caps ways at 64. The whole scan runs on the header's
+        // packed age bytes — it never touches the meta records. The
+        // repeated age-everything-and-rescan loop collapses to its closed
+        // form: ages are in [0, 3] (inserts reset to 0, aging stops at 3),
+        // so "increment all until some way reaches 3" adds exactly
+        // 3 - max(ages) to every way and the candidate set becomes the
+        // ways that held the maximum — identical final ages, identical
+        // candidates, and the same single NextRand draw. The simple
+        // fixed-trip loops also vectorize.
+        uint8_t* ages = AgesIn(blk);
+        uint8_t maxa = 0;
+        for (uint32_t w = 0; w < config_.ways; ++w) {
+          maxa = ages[w] > maxa ? ages[w] : maxa;
+        }
+        if (maxa < 3) {
+          const uint8_t add = static_cast<uint8_t>(3 - maxa);
+          for (uint32_t w = 0; w < config_.ways; ++w) {
+            ages[w] = static_cast<uint8_t>(ages[w] + add);
+          }
+        }
+        uint32_t candidates[64];
+        uint32_t n = 0;
+        for (uint32_t w = 0; w < config_.ways; ++w) {
+          if (ages[w] >= 3) {
+            candidates[n++] = w;
+          }
+        }
+        // way_mod_[n].Mod(r) == r % n exactly (see fastdiv.h) but via a
+        // magic multiply — the hardware divide was the longest dependency
+        // in the whole victim pick.
+        return candidates[way_mod_[n].Mod(NextRand(blk))];
+      }
+    }
+    return 0;
+  }
 
   // Tree-PLRU helpers (ways must be a power of two).
   void PlruTouch(unsigned char* blk, uint32_t way) {
@@ -328,7 +507,15 @@ class SetAssocCache {
   }
   uint32_t PlruVictim(const unsigned char* blk) const;
 
-  uint64_t NextRand(unsigned char* blk);
+  uint64_t NextRand(unsigned char* blk) {
+    // xorshift64: cheap per-set deterministic randomness for victim choice.
+    uint64_t x = ScalarsIn(blk).rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    ScalarsIn(blk).rng = x;
+    return x;
+  }
 
   CacheConfig config_;
   uint64_t global_sets_;
@@ -340,6 +527,9 @@ class SetAssocCache {
   uint64_t shard_;
   // Remainder by global_sets_ for the non-power-of-two fallback.
   ModReciprocal set_mod_;
+  // way_mod_[n].Mod(r) == r % n for n in [1, ways]: exact magic-multiply
+  // remainders for the victim-candidate draw (PickVictim). Index 0 unused.
+  std::vector<ModReciprocal> way_mod_;
 
   // SetBlock geometry (see config.h): ages_offset_ = scalars + tags,
   // meta_offset_ = SetBlockHeaderBytes, block_bytes_ = SetBlockBytes (the

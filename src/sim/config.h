@@ -107,6 +107,16 @@ struct DeviceConfig {
   // observes that the directory for device-backed lines lives on the device
   // itself, so every line-state change pays device latency.
   uint32_t directory_latency = 60;
+
+  // Selects the preserved pre-rework device implementation (linear XPBuffer
+  // scan, eager per-DIMM backlog walk, per-line writeback trains — see
+  // src/sim/reference_device.h) instead of the indexed fast path. The two
+  // must produce bit-identical machine digests; equivalence suites and the
+  // tier-1 miss-heavy smoke run both and compare. Reference-path runs also
+  // disable the analytical fast-forward at the call sites that honor this
+  // flag (sim_throughput_cli --device-path=reference), giving a fully
+  // interpreted A/B baseline.
+  bool reference_impl = false;
 };
 
 // How the core drains its store buffer (private write buffers, §4.2).

@@ -372,7 +372,15 @@ size_t Core::FastForwardOps(const ReplayOp* ops, size_t n,
       if (i + kPrefetchAhead < n) {
         const ReplayOp& ahead = ops[i + kPrefetchAhead];
         if (ahead.kind != ReplayOpKind::kClean) {
-          machine_->PrefetchForAccess(ahead.addr);
+          // Deep (whole-header) prefetch once the recent stream has been
+          // miss-dominated: a miss walks the full tag array, which the
+          // hinted prefetch doesn't cover. The score is host-side state
+          // feeding a pure hardware hint, so its phase lag is harmless.
+          // Host data bytes are only touched by stores (loads are
+          // timing-only here), so loads skip that fetch entirely.
+          machine_->PrefetchForAccess(
+              ahead.addr, deep_prefetch_score_ >= 16,
+              /*host_data=*/ahead.kind == ReplayOpKind::kStore);
         }
       }
       if (op.kind == ReplayOpKind::kClean ||
@@ -403,6 +411,7 @@ size_t Core::FastForwardOps(const ReplayOp* ops, size_t n,
           l1_.Touch(op.addr);
           meta->dirty = true;
           now += kStoreIssueCost;
+          deep_prefetch_score_ -= (deep_prefetch_score_ != 0);
           ++stores;
           // Functional store, same value pattern the replay driver writes.
           const uint64_t v = ReplayStoreValue(op.addr);
@@ -411,23 +420,46 @@ size_t Core::FastForwardOps(const ReplayOp* ops, size_t n,
         }
         // Store-publication leg: L1 miss or shared hit, TSO. The slow path
         // is LineStore -> PublishLine -> LlcAccess(kWrite) -> FillL1; when
-        // the LLC hit is trivial (TryFastLlcHit) that chain reduces to the
-        // exact sequence below. The LLC commit runs before the L1 touches
-        // here (they mutate disjoint structures, so the final state is
-        // identical) because a failed TryFastLlcHit must bail before ANY
-        // mutation. Replacement exactness: the slow path touches the L1
-        // line three times (LineStore's probe, PublishLine's probe, FillL1)
-        // — so does this leg.
+        // the LLC access is trivial — a TryFastLlcHit hit, or a genuine
+        // miss FastLlcMiss may commit analytically — that chain reduces to
+        // the exact sequence below. On a hit the LLC commit runs before
+        // the L1 touches (a hit mutates no L1 state, so the structures are
+        // disjoint and the final state identical) because a bailing probe
+        // must mutate nothing. On a miss the commit runs between
+        // PublishLine's probe and its FillL1 — exactly where the slow
+        // path's LlcAccess (and its victim back-invalidation, which CAN
+        // touch this L1) runs. Replacement exactness: the slow path
+        // touches the L1 line three times (LineStore's probe, PublishLine's
+        // probe, FillL1) — so does this leg.
+        if (!miss_legs || !tso) {
+          break;
+        }
         uint64_t t;
-        if (!miss_legs || !tso ||
-            !machine_->TryFastLlcHit(id_, op.addr,
-                                     Machine::AccessMode::kWrite,
-                                     now + kStoreIssueCost, &t)) {
+        const Machine::FastLlc sr = machine_->TryFastLlcHit(
+            id_, op.addr, Machine::AccessMode::kWrite,
+            now + kStoreIssueCost, &t);
+        if (sr == Machine::FastLlc::kBail ||
+            (sr == Machine::FastLlc::kMiss &&
+             !machine_->FastMissEligible(op.addr, /*is_write=*/true))) {
           break;
         }
         l1_.Touch(op.addr);  // LineStore's probe (hit updates replacement)
         now += kStoreIssueCost;
         l1_.Touch(op.addr);  // PublishLine's probe
+        if (sr == Machine::FastLlc::kMiss) {
+          deep_prefetch_score_ =
+              deep_prefetch_score_ > 56 ? 64 : deep_prefetch_score_ + 8;
+          // Warm the L1 victim's LLC set before the device leg so the
+          // L1VictimWriteback probe below doesn't stall on it (host-only
+          // peek; a wrong or impossible peek costs nothing).
+          if (const CacheLineMeta* pv = l1_.PeekVictimMeta(op.addr)) {
+            machine_->PrefetchHeadersForAccess(pv->line_addr);
+          }
+          // Analytical LLC-miss commit (stores are never streamed: the
+          // slow path calls LlcAccess with the default streamed=false).
+          t = machine_->FastLlcMiss(id_, op.addr, Machine::AccessMode::kWrite,
+                                    now, /*streamed=*/false);
+        }
         // PublishLine's FillL1(line, exclusive=true, dirty=true).
         CacheLineMeta* fill = l1_.Touch(op.addr);
         if (fill != nullptr) {
@@ -453,6 +485,7 @@ size_t Core::FastForwardOps(const ReplayOp* ops, size_t n,
       } else {
         if (l1_.Touch(op.addr) != nullptr) {
           now += hit_latency;
+          deep_prefetch_score_ -= (deep_prefetch_score_ != 0);
           ++loads;
           ++l1_hits_n;
           continue;
@@ -478,17 +511,21 @@ size_t Core::FastForwardOps(const ReplayOp* ops, size_t n,
           }
         }
         uint64_t t;
-        if (!machine_->TryFastLlcHit(id_, op.addr,
-                                     Machine::AccessMode::kRead, now, &t)) {
+        const Machine::FastLlc lr = machine_->TryFastLlcHit(
+            id_, op.addr, Machine::AccessMode::kRead, now, &t);
+        if (lr == Machine::FastLlc::kBail ||
+            (lr == Machine::FastLlc::kMiss &&
+             !machine_->FastMissEligible(op.addr, /*is_write=*/false))) {
           break;
         }
         ++l1_misses_n;
-        // LineLoad's stream-detector update, verbatim (the `streamed`
-        // discount itself only applies on the device path, but the table
-        // mutation feeds future misses and must happen identically; the
-        // stream table and the LLC are disjoint, so updating it after the
-        // commit above leaves the same final state as the slow path's
-        // update-before-access order).
+        // LineLoad's stream-detector update, verbatim. On the LLC-miss leg
+        // it runs BEFORE the device access — the slow path's order, and
+        // `streamed` feeds the discount. On the hit leg it runs after the
+        // commit in TryFastLlcHit, which is equivalent: the discount never
+        // applies to hits, and the stream table and the LLC are disjoint,
+        // so updating after the commit leaves the same final state as the
+        // slow path's update-before-access order.
         bool streamed = false;
         for (size_t s = 0; s < kMissStreams; ++s) {
           if (miss_streams_[s] + ls == op.addr) {
@@ -501,12 +538,29 @@ size_t Core::FastForwardOps(const ReplayOp* ops, size_t n,
           miss_streams_[next_stream_] = op.addr;
           next_stream_ = (next_stream_ + 1) % kMissStreams;
         }
+        if (lr == Machine::FastLlc::kMiss) {
+          deep_prefetch_score_ =
+              deep_prefetch_score_ > 56 ? 64 : deep_prefetch_score_ + 8;
+          // Warm the L1 victim's LLC set before the device leg (see the
+          // store leg) — the fill insert below will evict it and probe
+          // its LLC set in L1VictimWriteback.
+          if (const CacheLineMeta* pv = l1_.PeekVictimMeta(op.addr)) {
+            machine_->PrefetchHeadersForAccess(pv->line_addr);
+          }
+          // Analytical LLC-miss commit (the exact LlcAccess miss
+          // sequence, including the victim back-invalidation that may
+          // remove an unrelated line from this L1 — before the fill
+          // insert below, as on the slow path).
+          t = machine_->FastLlcMiss(id_, op.addr, Machine::AccessMode::kRead,
+                                    now, streamed);
+        }
         cycles_load_miss += t - now;
         now = t;
         // FillL1(line, exclusive=false, dirty=false): the line is absent
-        // (the probe above just missed and nothing ran since), so the
-        // slow path's present-check Touch would be a mutation-free miss —
-        // skip straight to the insert.
+        // (the probe above just missed, and the only L1 mutation since —
+        // a miss leg's victim back-invalidation — only removes lines), so
+        // the slow path's present-check Touch would be a mutation-free
+        // miss — skip straight to the insert.
         CacheLineMeta* fill = nullptr;
         SetAssocCache::Victim victim =
             l1_.Insert(op.addr, /*dirty=*/false, &fill);
@@ -519,6 +573,10 @@ size_t Core::FastForwardOps(const ReplayOp* ops, size_t n,
       }
     }
   }
+  // Replay the deferred eviction-writeback admission notes before anything
+  // else (slow path, next slice, stats) can observe the queue. Empty
+  // whenever no miss leg deferred work this run.
+  FlushEvictionTrain();
   now_ = now;
   icount_ += i;  // one instruction per line-granular 8-byte op
   stats_.loads += loads;

@@ -19,6 +19,7 @@
 
 #include "src/core/prestore.h"
 #include "src/sim/cache.h"
+#include "src/sim/invariant.h"
 #include "src/sim/config.h"
 #include "src/sim/hooks.h"
 #include "src/sim/replay_ops.h"
@@ -110,19 +111,59 @@ class Core {
   // up). Per-core so that clock skew between cores cannot masquerade as
   // queueing.
   uint64_t NoteEvictionWriteback(uint64_t acceptance, uint64_t start) {
-    while (!ewb_.empty() && ewb_.front() <= start) {
-      ewb_.pop_front();
+    while (ewb_size_ != 0 && ewb_ring_[ewb_head_ & kEwbRingMask] <= start) {
+      ++ewb_head_;
+      --ewb_size_;
     }
-    ewb_.push_back(acceptance);
-    if (ewb_.size() > kEvictionWbDepth) {
-      const uint64_t wait = ewb_.front();
-      ewb_.pop_front();
+    ewb_ring_[(ewb_head_ + ewb_size_) & kEwbRingMask] = acceptance;
+    ++ewb_size_;
+    if (ewb_size_ > kEvictionWbDepth) {
+      const uint64_t wait = ewb_ring_[ewb_head_ & kEwbRingMask];
+      ++ewb_head_;
+      --ewb_size_;
       return wait > start ? wait : start;
     }
     return start;
   }
 
   static constexpr size_t kEvictionWbDepth = 16;
+
+  // ---- Deferred eviction-writeback train (analytical miss legs) ----
+  //
+  // The fast-forward miss legs defer the per-eviction NoteEvictionWriteback
+  // bookkeeping into a small train and replay it in order when the run
+  // ends. This is exact only when no deferred note could overflow the
+  // bounded queue: the replay pops completed entries before each push, so
+  // the queue can only shrink relative to the conservative bound below,
+  // each replayed note returns `start` (no stall, no wbq_stall_cycles
+  // bump), and the caller's completion time — already past the access
+  // start — is unchanged. CanDeferEvictionWriteback enforces the bound;
+  // when it fails, the caller flushes the train and takes the per-line
+  // path. Device-side state is NOT deferred: the Write() reserving device
+  // bandwidth happens immediately, in program order, at the same timestamp
+  // as the per-line path.
+  bool CanDeferEvictionWriteback() const {
+    return pending_ewb_n_ < kEvictionTrainCap &&
+           ewb_size_ + pending_ewb_n_ < kEvictionWbDepth;
+  }
+
+  void DeferEvictionWriteback(uint64_t acceptance, uint64_t start) {
+    pending_ewb_[pending_ewb_n_].acceptance = acceptance;
+    pending_ewb_[pending_ewb_n_].start = start;
+    ++pending_ewb_n_;
+  }
+
+  void FlushEvictionTrain() {
+    for (uint32_t i = 0; i < pending_ewb_n_; ++i) {
+      const uint64_t proceed = NoteEvictionWriteback(
+          pending_ewb_[i].acceptance, pending_ewb_[i].start);
+      PRESTORE_INVARIANT(proceed == pending_ewb_[i].start,
+                         "deferred eviction writeback stalled; "
+                         "CanDeferEvictionWriteback bound violated");
+      (void)proceed;
+    }
+    pending_ewb_n_ = 0;
+  }
 
   // ---- Ordering operations ----
 
@@ -315,7 +356,30 @@ class Core {
   std::deque<uint64_t> sb_;  // private store buffer: line addresses, FIFO
   std::deque<uint64_t> bg_;  // completion times of async publications
   std::deque<WcEntry> wc_;   // in-flight clean / NT writebacks
-  std::deque<uint64_t> ewb_; // eviction-writeback acceptance times
+
+  // Eviction-writeback acceptance times: fixed power-of-two ring (capacity
+  // kEwbRingSize > kEvictionWbDepth + 1, the max occupancy right after the
+  // overflow push). Entries live in [ewb_head_, ewb_head_ + ewb_size_).
+  static constexpr uint32_t kEwbRingSize = 32;
+  static constexpr uint32_t kEwbRingMask = kEwbRingSize - 1;
+  uint64_t ewb_ring_[kEwbRingSize] = {};
+  uint32_t ewb_head_ = 0;
+  uint32_t ewb_size_ = 0;
+
+  // Deferred eviction-writeback notes accumulated by one fast-forward run.
+  static constexpr uint32_t kEvictionTrainCap = 8;
+  struct EvictionNote {
+    uint64_t acceptance = 0;
+    uint64_t start = 0;
+  };
+  EvictionNote pending_ewb_[kEvictionTrainCap];
+  uint32_t pending_ewb_n_ = 0;
+
+  // Host-side saturating score [0, 64] of how miss-dominated the recent
+  // fast-forward stream has been (+8 per LLC miss, -1 per L1 hit). Gates
+  // the deep whole-SetBlock prefetch variant. Feeds only hardware
+  // prefetch hints, so it carries no simulated state.
+  uint32_t deep_prefetch_score_ = 0;
 
   // Exact counting filter over wc_'s line addresses: wc_filter_[WcSlot(a)]
   // is the number of wc_ entries whose line hashes to that slot, updated at

@@ -61,9 +61,26 @@ class BandwidthMeter {
   static constexpr uint64_t kWindow = 1500;
 
   // Schedules `cost` cycles of work issued at local time `now`; returns the
-  // queueing delay (0 when the device keeps up).
-  uint64_t Reserve(uint64_t cost, uint64_t now) {
+  // queueing delay (0 when the device keeps up). `exclusive` asserts the
+  // caller holds the machine's single-driving-thread guarantee
+  // (Device::LockFree): the CAS loops degrade to plain relaxed
+  // load/compute/store with identical arithmetic — the CAS path's only job
+  // is atomicity against concurrent reservers, which exclusive execution
+  // rules out.
+  uint64_t Reserve(uint64_t cost, uint64_t now, bool exclusive = false) {
     const uint64_t floor = now > kWindow ? now - kWindow : 0;
+    if (exclusive) {
+      if (ref_.load(std::memory_order_relaxed) < floor) {
+        ref_.store(floor, std::memory_order_relaxed);
+      }
+      const uint64_t vr = ref_.load(std::memory_order_relaxed);
+      const uint64_t work = work_.load(std::memory_order_relaxed);
+      const uint64_t base = work > vr ? work : vr;
+      PRESTORE_INVARIANT(base + cost >= base,
+                         "BandwidthMeter work counter overflow");
+      work_.store(base + cost, std::memory_order_relaxed);
+      return base - vr;
+    }
     AdvanceRef(floor);
     const uint64_t vr = ref_.load(std::memory_order_relaxed);
     PRESTORE_INVARIANT(vr >= floor,
@@ -88,6 +105,49 @@ class BandwidthMeter {
     const uint64_t work = work_.load(std::memory_order_relaxed);
     return work > vr ? work - vr : 0;
   }
+
+  // Closed-form batch reservation: charges `count` back-to-back
+  // reservations of `cost` cycles each, all issued at local time `now`, in
+  // one arithmetic step. The meter is analytical, so the per-reservation
+  // recurrence collapses: after the reference advance, the first
+  // reservation's base is b = max(work, ref) and every subsequent one sees
+  // work already >= ref, so reservation i (1-based) experiences delay
+  //   delay_i = max(b - ref, 0) + (i - 1) * cost
+  // and the final work counter is b + count * cost — exactly the state K
+  // single Reserve() calls leave behind (meter_test.cc proves this for
+  // randomized interleavings). Returns delay_1; callers needing later
+  // delays derive them from the arithmetic progression. Used for writeback
+  // trains whose reservations share one issue time (Device::WriteTrain).
+  uint64_t ReserveRun(uint64_t cost, uint64_t count, uint64_t now) {
+    if (count == 0) {
+      return 0;
+    }
+    const uint64_t floor = now > kWindow ? now - kWindow : 0;
+    AdvanceRef(floor);
+    const uint64_t vr = ref_.load(std::memory_order_relaxed);
+    uint64_t work = work_.load(std::memory_order_relaxed);
+    uint64_t base = 0;
+    do {
+      base = work > vr ? work : vr;
+      PRESTORE_INVARIANT(base + cost * count >= base,
+                         "BandwidthMeter work counter overflow");
+    } while (!work_.compare_exchange_weak(work, base + cost * count,
+                                          std::memory_order_relaxed));
+    return base > vr ? base - vr : 0;
+  }
+
+  // Applies an observation floor deferred by a caller-side cache (see
+  // PmemDevice::InternalBacklogAt): raises the reference exactly as the
+  // BacklogAt() call that recorded the floor would have. The reference is
+  // only ever read after a floor advance, so applying the recorded maximum
+  // lazily — at the meter's next use — yields bit-identical delays and
+  // backlogs to applying it eagerly at observation time.
+  void ObserveFloor(uint64_t floor) { AdvanceRef(floor); }
+
+  // Scheduled-work high-water accessor for caller-side backlog caches: a
+  // meter whose work counter is at or below a requester's floor cannot
+  // report backlog to that requester.
+  uint64_t WorkMark() const { return work_.load(std::memory_order_relaxed); }
 
   // Retires all scheduled work, modeling idle wall-clock time passing until
   // the device catches up (the "sleep after the load phase" every real
@@ -131,6 +191,20 @@ class Device {
   // the device has accepted the data; media persistence may lag internally).
   virtual uint64_t Write(uint64_t addr, uint32_t bytes, uint64_t now) = 0;
 
+  // Accounting-only writeback train: `n` line writes all issued at `now`
+  // whose completion times the caller provably never observes (cache-flush
+  // sweeps — Machine::FlushAll — discard them). Semantically identical to n
+  // Write() calls in order; subclasses override to charge the shared-time
+  // interface reservations in one closed-form ReserveRun step and bump
+  // stats once. The default (and the path taken whenever a fault hook is
+  // installed, since hooks may keep per-call state) is the plain loop.
+  virtual void WriteTrain(const uint64_t* addrs, size_t n, uint32_t bytes,
+                          uint64_t now) {
+    for (size_t i = 0; i < n; ++i) {
+      Write(addrs[i], bytes, now);
+    }
+  }
+
   // Cost of a cache-directory access for a line homed on this device.
   // Returns the completion time. Default: free (directory lives in the LLC).
   virtual uint64_t DirectoryAccess(uint64_t now) { return now; }
@@ -169,6 +243,14 @@ class Device {
     fault_hook_.store(hook, std::memory_order_release);
   }
 
+  // Whether a fault-injection hook is installed. The analytical fast paths
+  // (fast-forwarded miss legs, batched writeback trains) bail to the fully
+  // interpreted engine while one is: hooks may keep per-call state, so the
+  // slow path must see every access individually.
+  bool HasFaultHook() const {
+    return fault_hook_.load(std::memory_order_acquire) != nullptr;
+  }
+
   // Exclusive-execution mirror (Machine::SetExclusiveExecution): while set,
   // the device's internal serialization mutexes are elided (optlock.h) —
   // the caller guarantees single-threaded access. Stats snapshots keep
@@ -192,7 +274,8 @@ class Device {
   }
 
   uint64_t ReserveBandwidth(uint32_t bytes, uint64_t now, double cpb) {
-    return now + interface_.Reserve(TransferCost(bytes, now, cpb), now);
+    return now +
+           interface_.Reserve(TransferCost(bytes, now, cpb), now, LockFree());
   }
 
   // Latency-spike fault contribution for an access issued at `now`.
@@ -218,6 +301,8 @@ class DramDevice : public Device {
 
   uint64_t Read(uint64_t addr, uint32_t bytes, uint64_t now) override;
   uint64_t Write(uint64_t addr, uint32_t bytes, uint64_t now) override;
+  void WriteTrain(const uint64_t* addrs, size_t n, uint32_t bytes,
+                  uint64_t now) override;
 };
 
 // Optane-like persistent memory. The media internally reads and writes
@@ -235,18 +320,83 @@ class PmemDevice : public Device {
  public:
   explicit PmemDevice(const DeviceConfig& config)
       : Device(config), dimms_(std::max(1u, config.interleave_dimms)) {
-    for (Dimm& d : dimms_) {
-      d.slots.reserve(config.internal_buffer_blocks);
+    // The index is sized for the configured capacity; buffer-pressure
+    // faults only ever SHRINK the usable slot count, so the table never
+    // needs to grow mid-run.
+    const uint32_t cap = std::max(1u, config.internal_buffer_blocks);
+    // The open-addressed index stores slot ids as uint8_t with 0xff
+    // reserved for "empty"; a capacity at or past that sentinel would
+    // silently alias slots.
+    PRESTORE_INVARIANT(cap < kIndexEmpty,
+                       "internal_buffer_blocks must stay below 255");
+    uint32_t bits = 2;
+    while ((1u << bits) < 4 * cap) {
+      ++bits;
     }
+    for (Dimm& d : dimms_) {
+      d.slots.assign(cap, BufferedBlock{});
+      d.index.assign(1u << bits, kIndexEmpty);
+    }
+    // Hot-path constants, hoisted out of TouchBlock. The cost expressions
+    // are evaluated exactly as the per-call forms evaluated them (one
+    // double product, truncated once), so the precomputed values are
+    // bit-identical. The address decompositions below use shift/mask when
+    // the geometry is power-of-two (every shipped preset); otherwise
+    // TouchBlock falls back to the division forms.
+    block_write_cost_ = static_cast<uint64_t>(
+        config_.internal_block_size * config_.media_cycles_per_byte *
+        static_cast<double>(dimms_.size()));
+    const double read_cpb = config_.media_read_cycles_per_byte > 0.0
+                                ? config_.media_read_cycles_per_byte
+                                : config_.media_cycles_per_byte / 3.0;
+    block_read_cost_ = static_cast<uint64_t>(config_.internal_block_size *
+                                             read_cpb *
+                                             static_cast<double>(dimms_.size()));
+    const uint64_t lines_per_block =
+        std::max<uint64_t>(1, config_.internal_block_size / 64);
+    full_mask_ = lines_per_block >= 8
+                     ? static_cast<uint8_t>(0xff)
+                     : static_cast<uint8_t>((1u << lines_per_block) - 1);
+    auto pow2_log = [](uint64_t v, uint32_t* log) {
+      if (v == 0 || (v & (v - 1)) != 0) {
+        return false;
+      }
+      *log = static_cast<uint32_t>(__builtin_ctzll(v));
+      return true;
+    };
+    pow2_geometry_ =
+        pow2_log(config_.interleave_bytes, &interleave_shift_) &&
+        pow2_log(dimms_.size(), &dimm_shift_) &&
+        pow2_log(config_.internal_block_size, &block_shift_);
   }
 
   uint64_t Read(uint64_t addr, uint32_t bytes, uint64_t now) override;
   uint64_t Write(uint64_t addr, uint32_t bytes, uint64_t now) override;
+  void WriteTrain(const uint64_t* addrs, size_t n, uint32_t bytes,
+                  uint64_t now) override;
   void Drain() override;
 
+  // Backlog watermark (diagnostics hot path: the pre-store governor samples
+  // this once per evaluation window). The common case — media idle or
+  // caught up — is answered from a cached high-water mark of scheduled
+  // media work without touching any per-DIMM meter: a meter whose work
+  // counter is at or below the observer's floor cannot report backlog. The
+  // reference advance the per-DIMM BacklogAt() calls would have performed
+  // is NOT lost: the observation floor is recorded (max-monotone) and every
+  // later meter use applies it first (BandwidthMeter::ObserveFloor), so all
+  // subsequently observed delays and backlogs are bit-identical to the
+  // eager max-over-DIMMs scan (randomized cross-check in meter_test.cc).
   uint64_t InternalBacklogAt(uint64_t now) override {
+    const uint64_t floor =
+        now > BandwidthMeter::kWindow ? now - BandwidthMeter::kWindow : 0;
+    RecordObservedFloor(floor);
+    if (media_work_peak_.load(std::memory_order_relaxed) <= floor) {
+      return 0;
+    }
+    const uint64_t observed = observed_floor_.load(std::memory_order_relaxed);
     uint64_t max_backlog = 0;
     for (Dimm& d : dimms_) {
+      d.media.ObserveFloor(observed);
       max_backlog = std::max(max_backlog, d.media.BacklogAt(now));
     }
     return max_backlog;
@@ -260,8 +410,17 @@ class PmemDevice : public Device {
   }
 
  private:
+  static constexpr uint8_t kIndexEmpty = 0xff;
+
   struct BufferedBlock {
     uint64_t block = 0;
+    // Recency stamp: strictly increasing per touch within a DIMM, so the
+    // minimum-stamp valid slot is exactly the block a recency-ordered
+    // array would hold at its back — victim selection (and hence all media
+    // accounting) is bit-identical to the rotate-to-front layout this
+    // replaces.
+    uint64_t stamp = 0;
+    bool valid = false;
     bool dirty = false;
     // Which line-sized chunks of the block have been written: a fully
     // written block flushes without the read-modify-write fetch (why
@@ -270,37 +429,67 @@ class PmemDevice : public Device {
   };
 
   // One module: its own XPBuffer and its own share of the media bandwidth.
-  // The XPBuffer holds at most internal_buffer_blocks entries (single
-  // digits in every config), so it is kept as a recency-ordered array —
-  // slots[0] is most recently used, back() the LRU victim. A linear scan
-  // plus rotate-to-front over <=8 contiguous entries is far cheaper on the
-  // device hot path than the hash-map + linked-list pair it replaces (no
-  // allocation per insert, no pointer chasing), and the hit/evict/insert
-  // order is identical, so media accounting is bit-for-bit unchanged.
+  // Slots live at FIXED positions (no rotate-to-front shuffling on every
+  // hit); recency is carried by per-slot stamps and lookup goes through a
+  // small open-addressed block->slot index with a last-hit hint checked
+  // first. Back-to-back accesses to one block — the coalescing pattern the
+  // XPBuffer exists for — resolve in a single compare; everything else is
+  // one hashed probe instead of a scan plus an up-to-
+  // sizeof(BufferedBlock)*capacity shift.
   struct Dimm {
     BandwidthMeter media;
     std::mutex mu;
     std::vector<BufferedBlock> slots;
+    std::vector<uint8_t> index;  // hash(block) -> slot, kIndexEmpty = free
+    uint64_t stamp_counter = 0;
+    uint8_t last_hit = 0;  // hint: slot of the most recent block hit
+    uint8_t valid_count = 0;
   };
 
-  // config_.media_cycles_per_byte is the AGGREGATE bandwidth; each module
-  // provides 1/N of it.
-  uint64_t BlockWriteCost() const {
-    return static_cast<uint64_t>(config_.internal_block_size *
-                                 config_.media_cycles_per_byte *
-                                 static_cast<double>(dimms_.size()));
+  uint32_t IndexMask(const Dimm& d) const {
+    return static_cast<uint32_t>(d.index.size() - 1);
+  }
+  static uint32_t BlockHash(uint64_t block) {
+    return static_cast<uint32_t>((block * 0x9e3779b97f4a7c15ULL) >> 33);
   }
 
-  uint64_t BlockReadCost() const {
-    const double cpb = config_.media_read_cycles_per_byte > 0.0
-                           ? config_.media_read_cycles_per_byte
-                           : config_.media_cycles_per_byte / 3.0;
-    return static_cast<uint64_t>(config_.internal_block_size * cpb *
-                                 static_cast<double>(dimms_.size()));
+  // Open-addressed helpers (linear probing, backward-shift deletion). The
+  // table is tiny (4x slot capacity), so clusters stay short.
+  uint8_t* IndexFind(Dimm& d, uint64_t block);
+  void IndexInsert(Dimm& d, uint64_t block, uint8_t slot);
+  void IndexErase(Dimm& d, uint64_t block);
+
+  void RecordObservedFloor(uint64_t floor) {
+    uint64_t cur = observed_floor_.load(std::memory_order_relaxed);
+    while (cur < floor && !observed_floor_.compare_exchange_weak(
+                              cur, floor, std::memory_order_relaxed)) {
+    }
+  }
+  void RecordMediaPeak(uint64_t mark) {
+    uint64_t cur = media_work_peak_.load(std::memory_order_relaxed);
+    while (cur < mark && !media_work_peak_.compare_exchange_weak(
+                             cur, mark, std::memory_order_relaxed)) {
+    }
   }
 
   Dimm& DimmFor(uint64_t addr) {
+    if (pow2_geometry_) {
+      return dimms_[(addr >> interleave_shift_) &
+                    ((1ULL << dimm_shift_) - 1)];
+    }
     return dimms_[(addr / config_.interleave_bytes) % dimms_.size()];
+  }
+
+  uint64_t BlockOf(uint64_t addr) const {
+    return pow2_geometry_ ? addr >> block_shift_
+                          : addr / config_.internal_block_size;
+  }
+
+  uint8_t LineBitOf(uint64_t addr) const {
+    const uint64_t off = pow2_geometry_
+                             ? addr & ((1ULL << block_shift_) - 1)
+                             : addr % config_.internal_block_size;
+    return static_cast<uint8_t>(1u << (off / 64));
   }
 
   // Ensures the block holding `addr` is buffered in its module; marks it
@@ -311,6 +500,22 @@ class PmemDevice : public Device {
                       uint64_t* media_bytes_flushed);
 
   std::vector<Dimm> dimms_;
+  // High-water mark of any DIMM's scheduled media work (max-monotone) and
+  // the maximum observation floor whose reference advance is still owed to
+  // the per-DIMM meters. Together they implement the InternalBacklogAt
+  // fast path above.
+  std::atomic<uint64_t> media_work_peak_{0};
+  std::atomic<uint64_t> observed_floor_{0};
+  // Constructor-computed TouchBlock constants (see constructor comment).
+  // config_.media_cycles_per_byte is the AGGREGATE bandwidth; each module
+  // provides 1/N of it, hence the dimms_ factor in the block costs.
+  uint64_t block_write_cost_ = 0;
+  uint64_t block_read_cost_ = 0;
+  uint8_t full_mask_ = 0;
+  bool pow2_geometry_ = false;
+  uint32_t interleave_shift_ = 0;
+  uint32_t dimm_shift_ = 0;
+  uint32_t block_shift_ = 0;
 };
 
 // CXL-/FPGA-like far memory: long latency, limited bandwidth, and — crucially
@@ -322,6 +527,8 @@ class FarMemoryDevice : public Device {
 
   uint64_t Read(uint64_t addr, uint32_t bytes, uint64_t now) override;
   uint64_t Write(uint64_t addr, uint32_t bytes, uint64_t now) override;
+  void WriteTrain(const uint64_t* addrs, size_t n, uint32_t bytes,
+                  uint64_t now) override;
   uint64_t DirectoryAccess(uint64_t now) override;
 };
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/util/hugepage.h"
+
 namespace prestore {
 
 Machine::Machine(const MachineConfig& config)
@@ -33,7 +35,14 @@ Machine::Machine(const MachineConfig& config)
   for (uint32_t ls = config_.llc.line_size; ls > 1; ls >>= 1) {
     ++llc_line_shift_;
   }
+  // Advise huge pages before the zero-fill touches the backing stores:
+  // replay traces stride randomly through both regions, and on 4 KiB
+  // pages nearly every host data access would pay a page walk.
+  dram_backing_.reserve(config_.dram_region_bytes);
+  AdviseHugePages(dram_backing_.data(), dram_backing_.capacity());
   dram_backing_.resize(config_.dram_region_bytes);
+  target_backing_.reserve(config_.target_region_bytes);
+  AdviseHugePages(target_backing_.data(), target_backing_.capacity());
   target_backing_.resize(config_.target_region_bytes);
   hstripes_ = std::make_unique<MachineStatStripe[]>(config_.num_cores);
   cores_.reserve(config_.num_cores);
@@ -112,27 +121,6 @@ void Machine::ResetStats() {
     c->ResetStats();
   }
 }
-
-namespace {
-
-// Streamed (sequential) misses hide most of the device access time behind
-// the previous transfers, standing in for hardware stride prefetching: the
-// prefetcher issued this fetch several lines ago, so both the device
-// latency and most of its queueing are already absorbed. The device meter
-// still carries the full work (bandwidth is conserved); only the streaming
-// requester's experienced wait shrinks.
-uint64_t ApplyStreamDiscount(uint64_t start, uint64_t completion,
-                             uint32_t read_latency, bool streamed) {
-  if (!streamed || completion <= start) {
-    return completion;
-  }
-  const uint64_t total = completion - start;
-  const uint64_t floor = read_latency / 8 + 1;
-  const uint64_t discounted = total / 4 > floor ? total / 4 : floor;
-  return discounted < total ? start + discounted : completion;
-}
-
-}  // namespace
 
 // Back-invalidates the victim's L1 sharers and accounts the eviction.
 // Returns true when a dirty writeback is owed (the device work itself runs
@@ -254,7 +242,7 @@ uint64_t Machine::LlcAccess(uint8_t self, uint64_t line_addr, AccessMode mode,
     t = dev.DirectoryAccess(t);
   }
   const uint64_t read_done = dev.Read(line_addr, config_.line_size, t);
-  t = ApplyStreamDiscount(t, read_done, dev.config().read_latency, streamed);
+  t = StreamDiscount(t, read_done, dev.config().read_latency, streamed);
 
   bool wb_owed = false;
   uint64_t victim_line = 0;
@@ -381,30 +369,6 @@ void Machine::InvalidateLine(uint8_t self, uint64_t line_addr) {
   core.l1().Remove(line_addr);
 }
 
-void Machine::L1VictimWriteback(uint8_t self, uint64_t line_addr, bool dirty,
-                                uint64_t now) {
-  {
-    LlcShard& shard = ShardFor(line_addr);
-    OptionalLockGuard shard_lock(shard.mu, exclusive_execution());
-    CacheLineMeta* meta = shard.cache->Probe(line_addr);
-    if (meta != nullptr) {
-      meta->sharers &= ~(1ULL << self);
-      if (meta->owner == self) {
-        meta->owner = kNoOwner;
-      }
-      if (dirty) {
-        meta->dirty = true;
-      }
-      return;
-    }
-  }
-  // Dirty victim with no LLC copy: the memory write needs no shard state,
-  // so it runs with the shard unlocked.
-  if (dirty) {
-    DeviceFor(line_addr).Write(line_addr, config_.line_size, now);
-  }
-}
-
 std::vector<uint64_t> Machine::LlcValidLines() const {
   std::vector<uint64_t> lines;
   lines.reserve(llc_global_sets_ * config_.llc.ways);
@@ -422,20 +386,30 @@ void Machine::FlushAll() {
     c->Fence();
   }
   const uint64_t now = GlobalTime();
+  // Collect the dirty lines per device, in walk order, and issue each
+  // device's lines as one write train (Device::WriteTrain — the batched
+  // clean-sweep charging path). Same-device write order is preserved
+  // exactly — the L1 walks then the GLOBAL-set-order, way-minor LLC walk,
+  // the order the per-line code issued — because PMEM write-combining
+  // (XPBuffer LRU and coalescing) makes media-byte counters depend on it.
+  // Splitting by device reorders only across devices, which commutes:
+  // the two devices share no meter, buffer, or stats state, and every
+  // write is issued at the same single timestamp `now`.
+  std::vector<uint64_t> dram_lines;
+  std::vector<uint64_t> target_lines;
+  auto collect = [&](uint64_t line) {
+    (line >= kTargetBase ? target_lines : dram_lines).push_back(line);
+  };
   for (auto& c : cores_) {
     OptionalLockGuard l1_lock(c->l1_mu(), exclusive_execution());
     for (uint64_t line : c->l1().ValidLines()) {
       CacheLineMeta* meta = c->l1().Probe(line);
       if (meta->dirty) {
         meta->dirty = false;
-        DeviceFor(line).Write(line, config_.line_size, now);
+        collect(line);
       }
     }
   }
-  // Walk the LLC in GLOBAL set order, ways in order — the same device-write
-  // order the monolithic cache produced. The order is load-bearing: PMEM
-  // write-combining (XPBuffer LRU and coalescing) makes media-byte counters
-  // depend on it.
   for (uint64_t g = 0; g < llc_global_sets_; ++g) {
     LlcShard& shard = llc_shards_[g & (kNumShards - 1)];
     OptionalLockGuard shard_lock(shard.mu, exclusive_execution());
@@ -448,11 +422,14 @@ void Machine::FlushAll() {
       CacheLineMeta& meta = base[w];
       if (meta.valid && meta.dirty) {
         meta.dirty = false;
-        DeviceFor(meta.line_addr).Write(meta.line_addr, config_.line_size,
-                                        now);
+        collect(meta.line_addr);
       }
     }
   }
+  dram_->WriteTrain(dram_lines.data(), dram_lines.size(), config_.line_size,
+                    now);
+  target_->WriteTrain(target_lines.data(), target_lines.size(),
+                      config_.line_size, now);
   dram_->Drain();
   target_->Drain();
 }

@@ -2,6 +2,7 @@
 #ifndef SRC_SIM_MACHINE_H_
 #define SRC_SIM_MACHINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -234,40 +235,69 @@ class Machine {
   void InvalidateLine(uint8_t self, uint64_t line_addr);
 
   // Handles a dirty line evicted from an L1: merge into LLC or write through
-  // to the device.
+  // to the device. Inline: runs on every L1 fill whose victim was valid,
+  // which a miss-dominated stream makes nearly every op.
   void L1VictimWriteback(uint8_t self, uint64_t line_addr, bool dirty,
-                         uint64_t now);
+                         uint64_t now) {
+    {
+      LlcShard& shard = ShardFor(line_addr);
+      OptionalLockGuard shard_lock(shard.mu, exclusive_execution());
+      CacheLineMeta* meta = shard.cache->Probe(line_addr);
+      if (meta != nullptr) {
+        meta->sharers &= ~(1ULL << self);
+        if (meta->owner == self) {
+          meta->owner = kNoOwner;
+        }
+        if (dirty) {
+          meta->dirty = true;
+        }
+        return;
+      }
+    }
+    // Dirty victim with no LLC copy: the memory write needs no shard state,
+    // so it runs with the shard unlocked.
+    if (dirty) {
+      DeviceFor(line_addr).Write(line_addr, config_.line_size, now);
+    }
+  }
 
   // ---- Exclusive-mode analytical fast path (Core::FastForwardOps) ----
-  //
+
+  // Outcome of the inline LLC probe below: the access either committed as
+  // a reduced hit (kHit), is a genuine LLC miss the caller may commit
+  // analytically via FastLlcMiss (kMiss), or needs the full coherence
+  // protocol (kBail — intervention, snoop, or far-memory directory work).
+  enum class FastLlc : uint8_t { kHit, kMiss, kBail };
+
   // Tries to charge an LLC hit analytically. Eligible iff the line is
   // LLC-resident with no FOREIGN Modified owner and, for kWrite, no
   // foreign sharers and a non-far backing device — exactly the cases where
   // LlcAccess's hit path reduces to {replacement touch, llc_hits bump, hit
   // latency, directory update} with no snoop, intervention, or device
-  // work. On success commits that reduced hit path bit-exactly and writes
+  // work. On kHit commits that reduced hit path bit-exactly and writes
   // the completion time (start + LLC hit latency) to `completion`. On
-  // failure mutates nothing but the set's way hint, so the slow path
-  // replays the access from a bit-identical machine. Exclusive execution
-  // only (touches shard state without its lock); inline because it runs
-  // for nearly every L1 miss of a fast-forwarded replay.
-  bool TryFastLlcHit(uint8_t self, uint64_t line_addr, AccessMode mode,
-                     uint64_t start, uint64_t* completion) {
+  // kMiss/kBail mutates nothing but the set's way hint, so the caller
+  // (FastLlcMiss on kMiss, the full LlcAccess on kBail) replays the access
+  // from a bit-identical machine. Exclusive execution only (touches shard
+  // state without its lock); inline because it runs for nearly every L1
+  // miss of a fast-forwarded replay.
+  FastLlc TryFastLlcHit(uint8_t self, uint64_t line_addr, AccessMode mode,
+                        uint64_t start, uint64_t* completion) {
     SetAssocCache& llc = *ShardFor(line_addr).cache;
     CacheLineMeta* meta = llc.Probe(line_addr);
     if (meta == nullptr) {
-      return false;  // miss: device read + insert + possible eviction
+      return FastLlc::kMiss;  // device read + insert + possible eviction
     }
     if (meta->owner != kNoOwner && meta->owner != self) {
-      return false;  // foreign Modified owner: intervention protocol
+      return FastLlc::kBail;  // foreign Modified owner: intervention
     }
     if (mode == AccessMode::kWrite) {
       if ((meta->sharers & ~(1ULL << self)) != 0) {
-        return false;  // foreign sharers: snoop + back-invalidation
+        return FastLlc::kBail;  // foreign sharers: snoop + back-invalidation
       }
       if (meta->owner != self &&
           DeviceFor(line_addr).config().kind == DeviceKind::kFarMemory) {
-        return false;  // line-state upgrade needs the on-device directory
+        return FastLlc::kBail;  // upgrade needs the on-device directory
       }
     }
     // Same replacement touch LlcAccess's first probe performs (the probe
@@ -278,7 +308,66 @@ class Machine {
     Bump(self, &MachineStatStripe::llc_hits);
     ApplyAccessModeLocked(meta, self, mode, /*incoming_dirty=*/false);
     *completion = start + config_.llc.hit_latency;
+    return FastLlc::kHit;
+  }
+
+  // Whether a TryFastLlcHit kMiss may be committed analytically by
+  // FastLlcMiss. Bails on the two miss-path hazards whose costs the
+  // analytical leg does not model: an installed device fault hook (whose
+  // time-varying multipliers belong to observed robustness runs, not
+  // fast-forwarded ones) and far-memory writes (whose misses pay a
+  // pre-read DirectoryAccess plus a dir_upgrades bump).
+  bool FastMissEligible(uint64_t line_addr, bool is_write) {
+    Device& dev = DeviceFor(line_addr);
+    if (dev.HasFaultHook()) {
+      return false;
+    }
+    if (is_write && dev.config().kind == DeviceKind::kFarMemory) {
+      return false;
+    }
     return true;
+  }
+
+  // Commits a genuine LLC miss analytically: the exact LlcAccess miss
+  // sequence — device read, stream discount, miss accounting, insert,
+  // victim handling, directory update, eviction writeback — minus the
+  // branches exclusive execution and FastMissEligible prove dead:
+  //   * the re-probe after the (lock-elided) device read is a guaranteed
+  //     re-miss: the failed Touch in TryFastLlcHit mutated nothing and no
+  //     other thread ran, so the line cannot have appeared;
+  //   * far-write directory work is excluded by FastMissEligible.
+  // A dirty victim's device Write still happens HERE, in program order at
+  // the access start (XPBuffer state is order-sensitive); only the
+  // bounded-queue admission bookkeeping joins the core's deferred train,
+  // and only when CanDeferEvictionWriteback proves the per-line path would
+  // have returned `start` with no stall bump (see core.h). Exclusive
+  // execution only; caller checked FastMissEligible.
+  uint64_t FastLlcMiss(uint8_t self, uint64_t line_addr, AccessMode mode,
+                       uint64_t start, bool streamed) {
+    Device& dev = DeviceFor(line_addr);
+    SetAssocCache& llc = *ShardFor(line_addr).cache;
+    const uint64_t read_done = dev.Read(line_addr, config_.line_size, start);
+    uint64_t t =
+        StreamDiscount(start, read_done, dev.config().read_latency, streamed);
+    Bump(self, &MachineStatStripe::llc_misses);
+    CacheLineMeta* meta = nullptr;
+    const SetAssocCache::Victim victim = llc.Insert(line_addr, false, &meta);
+    const bool wb_owed = HandleLlcVictimLocked(self, victim);
+    ApplyAccessModeLocked(meta, self, mode, /*incoming_dirty=*/false);
+    if (wb_owed) {
+      Core& core = *cores_[self];
+      if (core.CanDeferEvictionWriteback()) {
+        const uint64_t acceptance = DeviceFor(victim.line_addr)
+                                        .Write(victim.line_addr,
+                                               config_.line_size, start);
+        core.DeferEvictionWriteback(acceptance, start);
+      } else {
+        core.FlushEvictionTrain();
+        t = std::max(t,
+                     FinishEvictionWriteback(self, victim.line_addr, start));
+      }
+    }
+    return t;
   }
 
   // Host-side prefetch of the simulator structures a near-future replay op
@@ -288,9 +377,32 @@ class Machine {
   // result. The replay fast path calls this a fixed distance ahead of the
   // op cursor because the engine is host-cache-miss-bound on exactly these
   // arrays once the simulated working set outgrows the host LLC.
-  void PrefetchForAccess(uint64_t line_addr) {
-    ShardFor(line_addr).cache->PrefetchSet(line_addr);
-    __builtin_prefetch(HostPtr(line_addr), 1, 1);
+  // `deep` selects the miss-oriented variant (PrefetchSetAll): a miss-leg
+  // op additionally walks the full tag array and the victim's meta record,
+  // none of which the hinted two-line prefetch covers. Callers flip it on
+  // when their recent op stream has been miss-dominated, and must have
+  // issued PrefetchHeadersForAccess for the line a beat earlier (the deep
+  // variant reads the set header to predict the victim).
+  // `host_data` additionally warms the line's backing host bytes — wanted
+  // only for ops that will actually read or write them (stores; loads are
+  // timing-only in the replay fast path), so callers can skip a whole
+  // wasted host-memory fetch per load.
+  void PrefetchForAccess(uint64_t line_addr, bool deep, bool host_data) {
+    if (deep) {
+      ShardFor(line_addr).cache->PrefetchSetAll(line_addr);
+    } else {
+      ShardFor(line_addr).cache->PrefetchSet(line_addr);
+    }
+    if (host_data) {
+      __builtin_prefetch(HostPtr(line_addr), 1, 1);
+    }
+  }
+
+  // First stage of the two-distance prefetch pipeline: pure address
+  // arithmetic, reads no simulator state, so it can run arbitrarily far
+  // ahead of the op cursor without stalling on cold lines.
+  void PrefetchHeadersForAccess(uint64_t line_addr) {
+    ShardFor(line_addr).cache->PrefetchSetHeader(line_addr);
   }
 
   uint64_t LineBaseOf(SimAddr addr) const {
@@ -398,6 +510,24 @@ class Machine {
   }
   LlcShard& ShardFor(uint64_t line_addr) {
     return llc_shards_[LlcShardIndexOf(line_addr)];
+  }
+
+  // Streamed (sequential) misses hide most of the device access time
+  // behind the previous transfers, standing in for hardware stride
+  // prefetching: the prefetcher issued this fetch several lines ago, so
+  // both the device latency and most of its queueing are already absorbed.
+  // The device meter still carries the full work (bandwidth is conserved);
+  // only the streaming requester's experienced wait shrinks. Shared by
+  // LlcAccess (machine.cc) and the inline FastLlcMiss above.
+  static uint64_t StreamDiscount(uint64_t start, uint64_t completion,
+                                 uint32_t read_latency, bool streamed) {
+    if (!streamed || completion <= start) {
+      return completion;
+    }
+    const uint64_t total = completion - start;
+    const uint64_t floor = read_latency / 8 + 1;
+    const uint64_t discounted = total / 4 > floor ? total / 4 : floor;
+    return discounted < total ? start + discounted : completion;
   }
 
   // Directory update for the access mode; the final step of every LLC

@@ -52,6 +52,18 @@ struct ReplayTraceConfig {
   // Every Nth PUT closes with a clean pre-store over the value it wrote
   // (the §7.2.3 craft-then-clean shape). 0 disables cleans.
   uint32_t clean_period = 8;
+  // Target LLC-miss fraction of the private-key stream, or negative for
+  // "off" (the default key distribution above, byte-identical to traces
+  // generated before the knob existed). When set in [0, 1], each private
+  // draw picks with probability miss_mix a key from the cold tail of the
+  // arena (uniform — with the arena sized well past the LLC these are
+  // steady-state LLC misses) and otherwise a key from a small hot head
+  // sized to stay L1-resident (steady-state L1 hits). The knob therefore
+  // dials the actual hit/miss composition of the op stream directly,
+  // which is what the miss-leg benchmarks need: miss_mix=0 is the all-hit
+  // ceiling, miss_mix=1 the all-miss floor. Shared-key draws and the
+  // read/clean mix are unaffected.
+  double miss_mix = -1.0;
   uint64_t seed = 42;
 };
 
@@ -105,6 +117,21 @@ inline ReplayTrace GenerateReplayTrace(Machine& machine,
   ZipfianGenerator private_gen(cfg.keys_per_worker,
                                zipf ? cfg.zipf_theta : 0.5);
   ZipfianGenerator shared_gen(cfg.shared_keys, zipf ? cfg.zipf_theta : 0.5);
+  // miss_mix partitions the private arena into a hot head that fits in half
+  // the machine's L1 (steady-state hits) and a cold tail (steady-state LLC
+  // misses once the arena outgrows the LLC). Clamped so both partitions are
+  // nonempty for any arena size.
+  const bool mix = cfg.miss_mix >= 0.0 && cfg.keys_per_worker > 1;
+  const uint64_t l1_lines =
+      machine.config().l1.NumSets() * machine.config().l1.ways;
+  uint64_t hot_keys = l1_lines / 2 / value_lines;
+  if (hot_keys < 1) {
+    hot_keys = 1;
+  }
+  if (hot_keys > cfg.keys_per_worker / 2) {
+    hot_keys = cfg.keys_per_worker / 2;
+  }
+  const double miss_mix = cfg.miss_mix < 1.0 ? cfg.miss_mix : 1.0;
   for (uint32_t w = 0; w < cfg.workers; ++w) {
     Xoshiro256 rng(SplitMix64(cfg.seed ^ (0x9e37ULL * (w + 1))).Next());
     std::vector<ReplayOp>& ops = trace.per_worker[w];
@@ -115,7 +142,11 @@ inline ReplayTrace GenerateReplayTrace(Machine& machine,
       const bool shared = rng.NextDouble() < cfg.shared_fraction;
       const uint64_t nkeys = shared ? cfg.shared_keys : cfg.keys_per_worker;
       uint64_t key;
-      if (zipf) {
+      if (mix && !shared) {
+        key = rng.NextDouble() < miss_mix
+                  ? hot_keys + rng.Below(cfg.keys_per_worker - hot_keys)
+                  : rng.Below(hot_keys);
+      } else if (zipf) {
         key = shared ? shared_gen.NextScrambled(rng)
                      : private_gen.NextScrambled(rng);
       } else {

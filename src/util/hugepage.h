@@ -1,0 +1,42 @@
+#ifndef SRC_UTIL_HUGEPAGE_H_
+#define SRC_UTIL_HUGEPAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace prestore {
+
+// Best-effort transparent-hugepage advice for a large, hot, randomly
+// indexed allocation (cache set blocks, host backing stores). Randomly
+// striding through tens of megabytes on 4 KiB pages makes nearly every
+// access a dTLB miss, and the page walk serializes with the data fetch;
+// 2 MiB pages cover the same footprint with a handful of TLB entries.
+// Callers should advise BEFORE first touch (e.g. after reserve, before
+// fill) so the kernel can fault the range in as huge pages directly
+// instead of waiting for khugepaged to collapse it. Purely host-side —
+// affects TLB behaviour only, never a simulated result — and a no-op on
+// kernels or configs without THP (errors deliberately ignored).
+inline void AdviseHugePages(void* p, size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr uintptr_t kPage = 4096;
+  const uintptr_t begin =
+      (reinterpret_cast<uintptr_t>(p) + kPage - 1) & ~(kPage - 1);
+  const uintptr_t end =
+      (reinterpret_cast<uintptr_t>(p) + bytes) & ~(kPage - 1);
+  if (end > begin) {
+    (void)madvise(reinterpret_cast<void*>(begin), end - begin,
+                  MADV_HUGEPAGE);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace prestore
+
+#endif  // SRC_UTIL_HUGEPAGE_H_

@@ -80,6 +80,11 @@ class Percentiles {
   }
 
   double Median() { return At(50.0); }
+  // Extremes of the sample set (0 when empty). The benches report these
+  // beside the median so a noisy host's spread is visible in the artifact
+  // instead of silently folded into one number.
+  double Min() { return At(0.0); }
+  double Max() { return At(100.0); }
 
   double Mean() const {
     if (samples_.empty()) {

@@ -3,10 +3,13 @@
 // correct pacing — is what keeps multi-core simulations honest.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "src/sim/device.h"
+#include "src/util/fastdiv.h"
+#include "src/util/rng.h"
 
 namespace prestore {
 namespace {
@@ -97,6 +100,88 @@ TEST(Meter, ConcurrentReservationsConserveWork) {
   EXPECT_GT(total, 100000u);
 }
 
+// ---- Closed-form batch charging (the miss-leg fast path's algebra) ----
+
+TEST(Meter, ReserveRunEqualsSinglesAcrossRandomInterleavings) {
+  // The contract ReserveRun's closed form rests on: a batch of K
+  // reservations sharing one issue time leaves the meter in EXACTLY the
+  // state K single Reserve() calls would, and its returned first delay
+  // matches the first single's, for any surrounding traffic pattern. Replay
+  // a randomized schedule of runs, stray singles, idle gaps, and backlog
+  // observations against a run-charged meter and a singles-charged twin.
+  Xoshiro256 rng(0x5eedULL);
+  for (int trial = 0; trial < 32; ++trial) {
+    BandwidthMeter batched;
+    BandwidthMeter singles;
+    uint64_t now = 1000 + rng.Below(5000);
+    for (int step = 0; step < 200; ++step) {
+      // Idle gaps up to several windows long retire backlog in both.
+      now += rng.Below(3 * BandwidthMeter::kWindow);
+      const uint64_t cost = 1 + rng.Below(400);
+      const uint64_t count = 1 + rng.Below(8);
+      const uint64_t run_delay = batched.ReserveRun(cost, count, now);
+      uint64_t first_single = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t d = singles.Reserve(cost, now);
+        if (i == 0) {
+          first_single = d;
+        } else {
+          // The analytical recurrence: reservation i queues behind the
+          // i-1 batch-mates issued at the same instant.
+          ASSERT_EQ(d, first_single + i * cost) << trial << "/" << step;
+        }
+      }
+      ASSERT_EQ(run_delay, first_single) << trial << "/" << step;
+      ASSERT_EQ(batched.WorkMark(), singles.WorkMark())
+          << trial << "/" << step;
+      const uint64_t observe = now + rng.Below(BandwidthMeter::kWindow);
+      ASSERT_EQ(batched.BacklogAt(observe), singles.BacklogAt(observe))
+          << trial << "/" << step;
+    }
+  }
+}
+
+TEST(Meter, BacklogRetiresMonotonicallyUnderIdle) {
+  // With no new reservations, an advancing observer clock must only ever
+  // shrink the backlog (the reference is monotone), and the observed value
+  // must never wrap negative (it is a clamped difference).
+  BandwidthMeter meter;
+  uint64_t now = 10000;
+  for (int i = 0; i < 50; ++i) {
+    meter.Reserve(500, now);  // pile up ~25000 cycles of work
+  }
+  uint64_t prev = meter.BacklogAt(now);
+  EXPECT_GT(prev, 0u);
+  for (int i = 0; i < 200; ++i) {
+    now += 250;
+    const uint64_t b = meter.BacklogAt(now);
+    ASSERT_LE(b, prev) << "backlog grew under idle at step " << i;
+    ASSERT_LT(b, uint64_t{1} << 60) << "backlog wrapped at step " << i;
+    prev = b;
+  }
+  EXPECT_EQ(prev, 0u);
+}
+
+// ---- Exact strength-reduced modulo (victim-pick fast path) ----
+
+TEST(FastDiv, ModReciprocalExactForAllSmallDivisors) {
+  // PickVictim indexes way_mod_[n] for every associativity the configs can
+  // express; the closed form must be exact, not approximate, or victim
+  // choices (and digests) drift. Exhaustive small remainders plus random
+  // 64-bit values for every divisor up to 64.
+  Xoshiro256 rng(0xfa57d1ULL);
+  for (uint64_t n = 1; n <= 64; ++n) {
+    const ModReciprocal mod(n);
+    for (uint64_t r = 0; r < 4 * n + 16; ++r) {
+      ASSERT_EQ(mod.Mod(r), r % n) << "n=" << n << " r=" << r;
+    }
+    for (int i = 0; i < 4096; ++i) {
+      const uint64_t r = rng.Next();
+      ASSERT_EQ(mod.Mod(r), r % n) << "n=" << n << " r=" << r;
+    }
+  }
+}
+
 // ---- PMEM DIMM-level behaviour ----
 
 DeviceConfig DimmPmem() {
@@ -172,6 +257,67 @@ TEST(PmemDimms, ReadAmplificationCharged) {
   // With ~341 cycles of media work per fetch all issued at once, the last
   // read completes far in the future.
   EXPECT_GT(last, now + 100000u);
+}
+
+TEST(PmemDimms, FastPathMatchesReferenceUnderRandomTraffic) {
+  // The bit-identical digest contract, exercised at the device boundary:
+  // the production PmemDevice (hinted block index, cached backlog
+  // watermark, closed-form train charging) and the naive reference
+  // implementation must return the same completion time for every op and
+  // report the same backlog watermark at every probe, under randomized
+  // traffic that mixes sequential runs, scatter, bursts, and idle gaps.
+  DeviceConfig cfg = DimmPmem();
+  cfg.media_cycles_per_byte = 1.5;  // slow media so backlog actually forms
+  DeviceConfig ref_cfg = cfg;
+  ref_cfg.reference_impl = true;
+  PmemDevice fast(cfg);
+  const std::unique_ptr<Device> ref = MakeDevice(ref_cfg);
+  Xoshiro256 rng(0xdeefULL);
+  uint64_t now = 5000;
+  uint64_t seq_addr = 0;
+  for (int op = 0; op < 20000; ++op) {
+    switch (rng.Below(8)) {
+      case 0:  // idle gap, then watermark probe on both
+        now += rng.Below(4 * BandwidthMeter::kWindow);
+        ASSERT_EQ(fast.InternalBacklogAt(now), ref->InternalBacklogAt(now))
+            << "op " << op;
+        break;
+      case 1:
+      case 2: {  // sequential write run (coalesces in the block buffers)
+        const uint32_t lines = 1 + rng.Below(16);
+        for (uint32_t i = 0; i < lines; ++i) {
+          ASSERT_EQ(fast.Write(seq_addr, 64, now), ref->Write(seq_addr, 64, now))
+              << "op " << op;
+          seq_addr += 64;
+        }
+        break;
+      }
+      case 3: {  // scattered write (thrashes the buffers)
+        const uint64_t addr = rng.Below(1 << 22) * 64;
+        ASSERT_EQ(fast.Write(addr, 64, now), ref->Write(addr, 64, now))
+            << "op " << op;
+        break;
+      }
+      default: {  // read, scattered or near the sequential cursor
+        const uint64_t addr = rng.Below(2) != 0
+                                  ? rng.Below(1 << 22) * 64
+                                  : seq_addr - 64 * rng.Below(8);
+        ASSERT_EQ(fast.Read(addr, 64, now), ref->Read(addr, 64, now))
+            << "op " << op;
+        break;
+      }
+    }
+    now += rng.Below(64);
+  }
+  fast.Drain();
+  ref->Drain();
+  const DeviceStats fs = fast.Stats();
+  const DeviceStats rs = ref->Stats();
+  EXPECT_EQ(fs.reads, rs.reads);
+  EXPECT_EQ(fs.writes, rs.writes);
+  EXPECT_EQ(fs.bytes_read, rs.bytes_read);
+  EXPECT_EQ(fs.bytes_received, rs.bytes_received);
+  EXPECT_EQ(fs.media_bytes_written, rs.media_bytes_written);
 }
 
 TEST(PmemDimms, PartialBlockFlushPaysRmwFetch) {

@@ -27,13 +27,17 @@ using namespace prestore;
 
 namespace {
 
-int Usage() {
+int Usage(std::FILE* out, int code) {
   std::fprintf(
-      stderr,
+      out,
       "usage: dirtbuster --workload=<name> [--machine=A|B-fast|B-slow]\n"
       "workloads: mg ft sp bt ua is cg ep lu | clht masstree | tensor | x9\n"
-      "           | stream-read ray-trace compress\n");
-  return 2;
+      "           | stream-read ray-trace compress\n"
+      "flags:\n"
+      "  --workload=NAME  the workload to analyse (required)\n"
+      "  --machine=NAME   machine preset: A (default), B-fast, B-slow\n"
+      "  --help           this text\n");
+  return code;
 }
 
 MachineConfig PickMachine(const std::string& name) {
@@ -50,9 +54,20 @@ MachineConfig PickMachine(const std::string& name) {
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    return Usage(stdout, 0);
+  }
+  const auto unknown = flags.UnknownFlags({"workload", "machine"});
+  if (!unknown.empty()) {
+    for (const std::string& flag : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    }
+    std::fprintf(stderr, "run with --help for the flag list\n");
+    return 1;
+  }
   const std::string workload = flags.GetString("workload", "");
   if (workload.empty()) {
-    return Usage();
+    return Usage(stderr, 2);
   }
   Machine machine(PickMachine(flags.GetString("machine", "A")));
 
@@ -107,7 +122,7 @@ int main(int argc, char** argv) {
       }
     }
     if (proxy == nullptr) {
-      return Usage();
+      return Usage(stderr, 2);
     }
     body = [&] { proxy->Run(machine.core(0)); };
   }

@@ -96,6 +96,24 @@ if ./build/tools/sim_throughput_cli --scheduler=sliced --quantum=0 \
   exit 1
 fi
 
+# Miss-leg digest smoke: a miss-heavy trace replayed on the production
+# fast path (closed-form device charging + analytical miss fast-forward)
+# and on the reference path (naive event-at-a-time meters, fast-forward
+# off) must produce byte-identical machine digests. This is the
+# bit-identical-results contract the miss-leg turbo work ships under.
+echo "==> miss-leg digest smoke (fast vs reference device path)"
+MISSY_ARGS=(--workers=2 --sequential --ops=20000 --keys=16384
+  --shared-keys=256 --shared-fraction=0.1 --read-ratio=0.4 --theta=0
+  --miss-mix=0.8 --seed=42 --digest)
+df=$(./build/tools/sim_throughput_cli "${MISSY_ARGS[@]}" \
+  --device-path=fast | grep '^digest=')
+dr=$(./build/tools/sim_throughput_cli "${MISSY_ARGS[@]}" \
+  --device-path=reference | grep '^digest=')
+if [[ "${df}" != "${dr}" ]]; then
+  echo "miss-leg fast/reference digest drift: fast ${df} vs ref ${dr}" >&2
+  exit 1
+fi
+
 # Monitored-governor smoke: misuse recovery on an unprofiled workload,
 # sub-percent monitoring overhead, and the monitor-attached determinism
 # digest across host thread counts. The bench exits non-zero on any gate.
@@ -103,11 +121,12 @@ echo "==> monitor smoke (bench_monitor --quick)"
 ./build/bench/bench_monitor --quick --out=build/BENCH_monitor_smoke.json \
   >/dev/null
 
-# Monitored serving CLI smoke plus the PR-7 CLI surface on both serving
-# CLIs: --help exits 0, a typo'd flag is rejected loudly.
+# Monitored serving CLI smoke plus the CLI surface on all four CLIs:
+# --help exits 0, a typo'd flag is rejected loudly instead of silently
+# running a default configuration.
 echo "==> monitored serve smoke (kv_server_cli --smoke --governed --monitored)"
 ./build/tools/kv_server_cli --smoke --governed --monitored >/dev/null
-for cli in kv_server_cli kv_cluster_cli; do
+for cli in kv_server_cli kv_cluster_cli sim_throughput_cli dirtbuster; do
   ./build/tools/${cli} --help >/dev/null
   if ./build/tools/${cli} --monitered >/dev/null 2>&1; then
     echo "${cli} accepted an unknown flag" >&2
@@ -141,6 +160,18 @@ if [[ "${FAST}" == "0" ]]; then
   echo "==> monitor smoke (sanitized build)"
   ./build-sanitize/bench/bench_monitor --quick \
     --out=build-sanitize/BENCH_monitor_smoke.json >/dev/null
+  # The miss-leg digest contract under ASan+UBSan with invariant checkers:
+  # the batched writeback train, closed-form ReserveRun charging, and the
+  # hinted block index run the same miss-heavy fast/reference comparison.
+  echo "==> miss-leg digest smoke (sanitized build)"
+  sdf=$(./build-sanitize/tools/sim_throughput_cli "${MISSY_ARGS[@]}" \
+    --device-path=fast | grep '^digest=')
+  sdr=$(./build-sanitize/tools/sim_throughput_cli "${MISSY_ARGS[@]}" \
+    --device-path=reference | grep '^digest=')
+  if [[ "${sdf}" != "${sdr}" ]]; then
+    echo "sanitized miss-leg digest drift: fast ${sdf} vs ref ${sdr}" >&2
+    exit 1
+  fi
 fi
 
 echo "==> tier-1 gate passed"

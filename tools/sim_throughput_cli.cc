@@ -38,8 +38,18 @@ void PrintUsage() {
       "  --read-ratio=F       read fraction of the mix (0.5)\n"
       "  --theta=F            zipfian skew; 0 = uniform integer-only (0.99)\n"
       "  --clean-period=N     every Nth put ends with a clean pre-store (8)\n"
+      "  --miss-mix=F         target LLC-miss fraction of the private-key\n"
+      "                       stream: 0 = hot L1-resident head only, 1 =\n"
+      "                       cold LLC-busting tail only (default: off —\n"
+      "                       the classic uniform/zipfian key stream)\n"
       "  --seed=N             trace seed (42)\n"
       "  --machine=A|B|Bslow  machine preset (A)\n"
+      "  --device-path=fast|reference\n"
+      "                       fast (default): production device model plus\n"
+      "                       the analytical miss-leg fast-forward;\n"
+      "                       reference: the naive event-at-a-time device\n"
+      "                       meters with fast-forward disabled — slow, for\n"
+      "                       A/B digest comparison against the fast path\n"
       "\n"
       "Execution mode:\n"
       "  --scheduler=free|sliced\n"
@@ -71,6 +81,18 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 0;
   }
+  const auto unknown = flags.UnknownFlags(
+      {"workers", "ops", "keys", "shared-keys", "shared-fraction",
+       "value-size", "read-ratio", "theta", "clean-period", "miss-mix",
+       "seed", "machine", "device-path", "scheduler", "quantum",
+       "host-threads", "sequential", "digest", "json"});
+  if (!unknown.empty()) {
+    for (const std::string& flag : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    }
+    std::fprintf(stderr, "run with --help for the flag list\n");
+    return 1;
+  }
   ReplayTraceConfig cfg;
   cfg.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
   cfg.ops_per_worker = flags.GetInt("ops", 400000);
@@ -81,7 +103,15 @@ int main(int argc, char** argv) {
   cfg.read_ratio = flags.GetDouble("read-ratio", 0.5);
   cfg.zipf_theta = flags.GetDouble("theta", 0.99);
   cfg.clean_period = static_cast<uint32_t>(flags.GetInt("clean-period", 8));
+  cfg.miss_mix = flags.GetDouble("miss-mix", -1.0);
   cfg.seed = flags.GetInt("seed", 42);
+
+  const std::string device_path = flags.GetString("device-path", "fast");
+  if (device_path != "fast" && device_path != "reference") {
+    std::fprintf(stderr, "--device-path must be fast or reference (got %s)\n",
+                 device_path.c_str());
+    return 1;
+  }
 
   const std::string scheduler = flags.GetString("scheduler", "free");
   if (scheduler != "free" && scheduler != "sliced") {
@@ -116,7 +146,17 @@ int main(int argc, char** argv) {
   MachineConfig mc = preset == "B"    ? MachineBFast(cfg.workers)
                      : preset == "Bslow" ? MachineBSlow(cfg.workers)
                                          : MachineA(cfg.workers);
+  if (device_path == "reference") {
+    // Reference leg of the A/B digest contract: naive event-at-a-time
+    // device meters and no analytical fast-forward. Identical simulated
+    // results, none of the closed-form charging.
+    mc.dram.reference_impl = true;
+    mc.target.reference_impl = true;
+  }
   Machine machine(mc);
+  if (device_path == "reference") {
+    machine.SetAnalyticalFastForward(false);
+  }
   const ReplayTrace trace = GenerateReplayTrace(machine, cfg);
   const ReplayResult result =
       sliced      ? ReplaySliced(machine, trace, sliced_options)
